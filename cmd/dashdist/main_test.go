@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestPickHealer(t *testing.T) {
+	kind, h, err := pickHealer("DASH")
+	if err != nil || kind != dist.HealDASH || h.Name() != "DASH" {
+		t.Errorf("DASH mapping wrong: %v %v %v", kind, h, err)
+	}
+	kind, h, err = pickHealer("SDASH")
+	if err != nil || kind != dist.HealSDASH || h.Name() != "SDASH" {
+		t.Errorf("SDASH mapping wrong: %v %v %v", kind, h, err)
+	}
+	if _, _, err := pickHealer("GraphHeal"); err == nil {
+		t.Error("non-distributed healer should be rejected")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("64, 128,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{64, 128, 256}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseSizesErrors(t *testing.T) {
+	for _, bad := range []string{"", "abc", "64,", "3", "-5", "64,,128"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+func TestGraphGenFamilies(t *testing.T) {
+	r := rng.New(1)
+	for _, family := range []string{"ba", "tree", "ring", "line", "grid", "er"} {
+		mk, err := graphGen(family, 30, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		g := mk(r)
+		if g.NumAlive() < 30 {
+			t.Errorf("%s: %d nodes, want >= 30", family, g.NumAlive())
+		}
+		if !g.Connected() {
+			t.Errorf("%s: generated graph disconnected", family)
+		}
+	}
+	if _, err := graphGen("nope", 10, 2); err == nil {
+		t.Error("unknown family should error")
+	}
+}
+
+func TestGridRoundsUp(t *testing.T) {
+	mk, err := graphGen("grid", 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := mk(rng.New(2)); g.NumAlive() != 16 {
+		t.Errorf("grid for n=10 should be 4x4=16 nodes, got %d", g.NumAlive())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.dot")
+	mk, err := graphGen("tree", 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeDOT(path, mk, repro.DASH, repro.MaxNode, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.HasPrefix(out, "graph healed {") {
+		t.Errorf("DOT header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, " -- ") {
+		t.Error("DOT has no edges")
+	}
+}
+
+func TestWriteDOTFullFractionSnapshotsAtHalf(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.dot")
+	mk, _ := graphGen("ring", 16, 0)
+	if err := writeDOT(path, mk, repro.DASH, repro.MaxNode, 4, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "n") || !strings.Contains(string(data), " -- ") {
+		t.Error("full-fraction DOT should still draw the half-deleted graph")
+	}
+}

@@ -1,0 +1,32 @@
+package attack
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// CutVertex deletes an articulation point of the current graph whenever
+// one exists (the highest-degree one, ties to the lowest index), falling
+// back to the maximum-degree node otherwise. Against an unhealed network
+// every hit is a guaranteed partition, so this adversary maximizes the
+// healing work per deletion — a natural stress test beyond the paper's
+// two strategies.
+type CutVertex struct{}
+
+// Name implements Strategy.
+func (CutVertex) Name() string { return "CutVertex" }
+
+// Next implements Strategy.
+func (CutVertex) Next(s *core.State, _ *rng.RNG) int {
+	aps := s.G.ArticulationPoints()
+	if len(aps) == 0 {
+		return s.G.MaxDegreeNode()
+	}
+	best := aps[0]
+	for _, v := range aps[1:] {
+		if s.G.Degree(v) > s.G.Degree(best) {
+			best = v
+		}
+	}
+	return best
+}

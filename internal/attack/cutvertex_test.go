@@ -1,0 +1,78 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestCutVertexName(t *testing.T) {
+	if (CutVertex{}).Name() != "CutVertex" {
+		t.Error("name wrong")
+	}
+}
+
+func TestCutVertexPicksArticulationPoint(t *testing.T) {
+	// Barbell: two triangles joined through the 2-3 bridge; 2 and 3 are
+	// the articulation points, and both have degree 3.
+	s := core.NewState(barbell(), rng.New(1))
+	v := (CutVertex{}).Next(s, rng.New(2))
+	if v != 2 && v != 3 {
+		t.Errorf("picked %d, want an articulation point (2 or 3)", v)
+	}
+}
+
+func barbell() *graph.Graph {
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func TestCutVertexFallsBackOnBiconnected(t *testing.T) {
+	// A clique has no articulation points: fall back to max degree.
+	s := core.NewState(gen.Complete(5), rng.New(3))
+	if v := (CutVertex{}).Next(s, rng.New(4)); v != 0 {
+		t.Errorf("picked %d, want max-degree fallback 0", v)
+	}
+}
+
+func TestCutVertexEmptyGraph(t *testing.T) {
+	s := core.NewState(graph.New(1), rng.New(5))
+	s.Remove(0)
+	if v := (CutVertex{}).Next(s, rng.New(6)); v != NoTarget {
+		t.Errorf("picked %d on empty graph", v)
+	}
+}
+
+// DASH must survive the articulation-point adversary with its guarantees
+// intact — every deletion is a guaranteed split of the unhealed graph.
+func TestDASHSurvivesCutVertexAttack(t *testing.T) {
+	n := 100
+	s := core.NewState(gen.RandomRecursiveTree(n, rng.New(7)), rng.New(8))
+	att := CutVertex{}
+	r := rng.New(9)
+	peak := 0
+	for s.G.NumAlive() > 0 {
+		v := att.Next(s, r)
+		s.DeleteAndHeal(v, core.DASH{})
+		if !s.G.Connected() {
+			t.Fatal("DASH lost connectivity under CutVertex attack")
+		}
+		if d := s.MaxDelta(); d > peak {
+			peak = d
+		}
+	}
+	if bound := 2 * math.Log2(float64(n)); float64(peak) > bound {
+		t.Errorf("peak δ %d above bound %.1f", peak, bound)
+	}
+}

@@ -1,0 +1,118 @@
+// Package baseline implements the naive healing strategies the paper
+// compares DASH against (§4.3), plus the ablations its lower-bound
+// section motivates:
+//
+//   - GraphHeal: reconnect *all* neighbors of the deleted node as a
+//     binary tree, ignoring the cycles this creates in the healing graph;
+//   - BinaryTreeHeal: component-aware binary tree (uses the random-ID
+//     component tracking to avoid cycles) but ignores past degree
+//     increase — DASH minus the δ ordering;
+//   - LineHeal: the simple line strategy of the earlier work the paper
+//     builds on ([5,6]); it is 2-degree-bounded, which makes it the
+//     natural victim of the Theorem 2 lower bound;
+//   - DegreeHeal: δ-ordered like DASH but component-blind — the ablation
+//     showing why component tracking is necessary (§3.1);
+//   - NoHeal: does nothing (lets the network fall apart), the control
+//     for connectivity/stretch comparisons.
+//
+// All strategies share core's reconnection-set machinery and run the same
+// MINID component-label flood, matching the paper's experiments, which
+// report ID-change and message counts for every healing strategy
+// (Fig. 9).
+package baseline
+
+import "repro/internal/core"
+
+// GraphHeal reconnects every surviving neighbor of the deleted node into
+// a binary tree ordered by initial ID, with no component tracking. The
+// healing graph G′ accumulates cycles and redundant edges, so degrees
+// grow far faster than necessary — the paper's most naive strategy.
+type GraphHeal struct{}
+
+// Name implements core.Healer.
+func (GraphHeal) Name() string { return "GraphHeal" }
+
+// Heal implements core.Healer.
+func (GraphHeal) Heal(s *core.State, d core.Deletion) core.HealResult {
+	members := append([]int(nil), d.GNbrs...)
+	sortByInitID(s, members)
+	added := s.WireBinaryTree(members)
+	s.PropagateMinID(members)
+	return core.HealResult{RTSize: len(members), Added: added}
+}
+
+// BinaryTreeHeal reconnects the reconnection set RT = UN ∪ N(x,G′) — so
+// it is careful not to create cycles — but orders the tree by initial ID
+// rather than by δ. It is exactly DASH without degree awareness.
+type BinaryTreeHeal struct{}
+
+// Name implements core.Healer.
+func (BinaryTreeHeal) Name() string { return "BinTreeHeal" }
+
+// Heal implements core.Healer.
+func (BinaryTreeHeal) Heal(s *core.State, d core.Deletion) core.HealResult {
+	rt := s.ReconnectSet(d)
+	sortByInitID(s, rt)
+	added := s.WireBinaryTree(rt)
+	s.PropagateMinID(rt)
+	return core.HealResult{RTSize: len(rt), Added: added}
+}
+
+// LineHeal reconnects the reconnection set as a path ordered by initial
+// ID: the strategy of the paper's precursor work [5,6]. Interior path
+// members gain two edges, so LineHeal is 2-degree-bounded and Theorem 2
+// applies: LEVELATTACK forces it into Ω(log n) degree increase.
+type LineHeal struct{}
+
+// Name implements core.Healer.
+func (LineHeal) Name() string { return "LineHeal" }
+
+// Heal implements core.Healer.
+func (LineHeal) Heal(s *core.State, d core.Deletion) core.HealResult {
+	rt := s.ReconnectSet(d)
+	sortByInitID(s, rt)
+	added := s.WireLine(rt)
+	s.PropagateMinID(rt)
+	return core.HealResult{RTSize: len(rt), Added: added}
+}
+
+// DegreeHeal is the component-tracking ablation: it orders all surviving
+// neighbors by δ like DASH but reconnects all of them (no UN
+// representative selection). Section 3.1 argues such a strategy must
+// leak degree — every degree-d deletion adds d-2 total degrees — and the
+// ablation benchmark confirms it.
+type DegreeHeal struct{}
+
+// Name implements core.Healer.
+func (DegreeHeal) Name() string { return "DegreeHeal" }
+
+// Heal implements core.Healer.
+func (DegreeHeal) Heal(s *core.State, d core.Deletion) core.HealResult {
+	members := append([]int(nil), d.GNbrs...)
+	s.SortByDelta(members)
+	added := s.WireBinaryTree(members)
+	s.PropagateMinID(members)
+	return core.HealResult{RTSize: len(members), Added: added}
+}
+
+// NoHeal performs no repair at all; deletions accumulate damage. It is
+// the control strategy for connectivity and stretch comparisons.
+type NoHeal struct{}
+
+// Name implements core.Healer.
+func (NoHeal) Name() string { return "NoHeal" }
+
+// Heal implements core.Healer.
+func (NoHeal) Heal(_ *core.State, d core.Deletion) core.HealResult {
+	return core.HealResult{RTSize: 0}
+}
+
+// sortByInitID orders members ascending by initial ID (the deterministic
+// stand-in for the "arbitrary" orders of the naive strategies).
+func sortByInitID(s *core.State, members []int) {
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && s.InitID(members[j]) < s.InitID(members[j-1]); j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func allHealers() []core.Healer {
+	return []core.Healer{GraphHeal{}, BinaryTreeHeal{}, LineHeal{}, DegreeHeal{}}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{
+		"GraphHeal": true, "BinTreeHeal": true, "LineHeal": true,
+		"DegreeHeal": true, "NoHeal": true,
+	}
+	for _, h := range append(allHealers(), core.Healer(NoHeal{})) {
+		if !want[h.Name()] {
+			t.Errorf("unexpected name %q", h.Name())
+		}
+	}
+}
+
+// Every healing baseline (except NoHeal) must preserve connectivity on
+// arbitrary graphs under arbitrary deletion orders — they are wasteful,
+// not wrong.
+func TestBaselinesPreserveConnectivity(t *testing.T) {
+	for _, h := range allHealers() {
+		h := h
+		t.Run(h.Name(), func(t *testing.T) {
+			f := func(seed uint64) bool {
+				r := rng.New(seed)
+				n := 8 + r.Intn(40)
+				s := core.NewState(gen.ConnectedErdosRenyi(n, 0.1, r), rng.New(seed+1))
+				for _, x := range r.Perm(n) {
+					s.DeleteAndHeal(x, h)
+					if !s.G.Connected() {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// The component-aware strategies must keep G' a forest; the
+// component-blind ones may not (that is the point of the ablation).
+func TestForestInvariantSplit(t *testing.T) {
+	run := func(h core.Healer) *core.State {
+		r := rng.New(99)
+		s := core.NewState(gen.BarabasiAlbert(40, 2, r), rng.New(100))
+		for _, x := range rng.New(101).Perm(40)[:30] {
+			if s.G.Alive(x) {
+				s.DeleteAndHeal(x, h)
+			}
+		}
+		return s
+	}
+	for _, h := range []core.Healer{BinaryTreeHeal{}, LineHeal{}} {
+		if s := run(h); !s.Gp.IsForest() {
+			t.Errorf("%s should keep G' a forest", h.Name())
+		}
+	}
+	// GraphHeal reconnects all neighbors regardless of cycles: on any
+	// run where some deletion has 3+ neighbors with two in one
+	// component, G' gains a cycle. Verify it happens on this workload.
+	if s := run(GraphHeal{}); s.Gp.IsForest() {
+		t.Error("GraphHeal unexpectedly kept G' a forest on a hub-rich workload")
+	}
+}
+
+func TestNoHealDoesNothing(t *testing.T) {
+	s := core.NewState(gen.Star(5), rng.New(1))
+	res := s.DeleteAndHeal(0, NoHeal{})
+	if len(res.Added) != 0 || res.RTSize != 0 {
+		t.Fatalf("NoHeal added edges: %+v", res)
+	}
+	if s.G.Connected() {
+		t.Fatal("star without healing must shatter")
+	}
+	if s.G.NumComponents() != 4 {
+		t.Errorf("components = %d, want 4", s.G.NumComponents())
+	}
+}
+
+func TestLineHealWiresAPath(t *testing.T) {
+	s := core.NewState(gen.Star(6), rng.New(2))
+	res := s.DeleteAndHeal(0, LineHeal{})
+	if len(res.Added) != 4 {
+		t.Fatalf("line over 5 members should add 4 edges, got %d", len(res.Added))
+	}
+	// A path has exactly two degree-1 endpoints and three degree-2 nodes.
+	deg1, deg2 := 0, 0
+	for _, v := range s.G.AliveNodes() {
+		switch s.G.Degree(v) {
+		case 1:
+			deg1++
+		case 2:
+			deg2++
+		}
+	}
+	if deg1 != 2 || deg2 != 3 {
+		t.Errorf("degrees after line heal: %d endpoints, %d interior", deg1, deg2)
+	}
+}
+
+func TestGraphHealUsesAllNeighbors(t *testing.T) {
+	// Merge two neighbors into one G' component first; GraphHeal must
+	// still reconnect both (no UN collapse), unlike BinaryTreeHeal.
+	build := func() *core.State {
+		g := graph.New(4)
+		g.AddEdge(0, 1)
+		g.AddEdge(0, 2)
+		g.AddEdge(0, 3)
+		g.AddEdge(1, 2)
+		return core.NewState(g, rng.New(3))
+	}
+	s := build()
+	s.AddHealingEdge(1, 2)
+	s.PropagateMinID([]int{1, 2})
+	res := s.DeleteAndHeal(0, GraphHeal{})
+	if res.RTSize != 3 {
+		t.Errorf("GraphHeal RT = %d, want all 3 neighbors", res.RTSize)
+	}
+
+	s2 := build()
+	s2.AddHealingEdge(1, 2)
+	s2.PropagateMinID([]int{1, 2})
+	res2 := s2.DeleteAndHeal(0, BinaryTreeHeal{})
+	if res2.RTSize != 2 {
+		t.Errorf("BinaryTreeHeal RT = %d, want 2 (one rep of {1,2} plus 3)", res2.RTSize)
+	}
+}
+
+// The headline comparison of Fig. 8 in miniature: on a hub-rich graph
+// with an adversarial deletion order, DASH's max degree increase must
+// beat GraphHeal's by a clear margin.
+func TestDASHBeatsGraphHeal(t *testing.T) {
+	run := func(h core.Healer) int {
+		r := rng.New(7)
+		n := 150
+		s := core.NewState(gen.BarabasiAlbert(n, 3, r), rng.New(8))
+		maxDelta := 0
+		att := rng.New(9)
+		for s.G.NumAlive() > 0 {
+			hub := s.G.MaxDegreeNode()
+			nbrs := s.G.Neighbors(hub)
+			x := hub
+			if len(nbrs) > 0 {
+				x = nbrs[att.Intn(len(nbrs))]
+			}
+			s.DeleteAndHeal(x, h)
+			if d := s.MaxDelta(); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		return maxDelta
+	}
+	dash := run(core.DASH{})
+	naive := run(GraphHeal{})
+	if naive < 2*dash {
+		t.Errorf("expected GraphHeal (%d) to be at least 2x worse than DASH (%d)", naive, dash)
+	}
+}

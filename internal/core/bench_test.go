@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// BenchmarkUniqueNeighbors measures the UN partition on a high-degree
+// deletion — the per-round cost driver of Algorithm 1's step 4.
+func BenchmarkUniqueNeighbors(b *testing.B) {
+	s := NewState(gen.Star(512), rng.New(1))
+	d := s.Remove(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.UniqueNeighbors(d)
+	}
+}
+
+// BenchmarkChainMergeFlood measures building a 512-node healing chain and
+// flooding the global-minimum label through it (the worst-case MINID
+// wave). Construction and flood are timed together: the flood alone is
+// one-shot per state, so isolating it would make the benchmark's setup
+// dominate its runtime.
+func BenchmarkChainMergeFlood(b *testing.B) {
+	const n = 512
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewState(gen.Line(n), rng.New(uint64(i)))
+		for v := 0; v+1 < n; v++ {
+			s.AddHealingEdge(v, v+1)
+		}
+		minV := 0
+		for v := 1; v < n; v++ {
+			if s.InitID(v) < s.InitID(minV) {
+				minV = v
+			}
+		}
+		s.PropagateMinID([]int{minV})
+	}
+}
+
+// BenchmarkRem measures the potential-function evaluation used by the
+// invariant tests (BFS-heavy, analysis-only code).
+func BenchmarkRem(b *testing.B) {
+	s := NewState(gen.Line(256), rng.New(2))
+	for v := 0; v+1 < 256; v++ {
+		s.AddHealingEdge(v, v+1)
+	}
+	s.PropagateMinID([]int{0, 255})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Rem(128)
+	}
+}
+
+// BenchmarkDeleteAndHealDASH measures the per-round pipeline on a
+// power-law graph mid-attack. Graph construction is amortized: each
+// state serves 256 timed rounds before a (timer-paused) rebuild.
+func BenchmarkDeleteAndHealDASH(b *testing.B) {
+	b.ReportAllocs()
+	var s *State
+	rebuild := 0
+	for i := 0; i < b.N; i++ {
+		if s == nil || s.G.NumAlive() == 0 {
+			b.StopTimer()
+			s = NewState(gen.BarabasiAlbert(256, 3, rng.New(uint64(rebuild))),
+				rng.New(uint64(rebuild)+1))
+			rebuild++
+			b.StartTimer()
+		}
+		s.DeleteAndHeal(s.G.MaxDegreeNode(), DASH{})
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestJoinBasics(t *testing.T) {
+	s := NewState(gen.Line(3), rng.New(1))
+	r := rng.New(2)
+	v := s.Join([]int{0, 2}, r)
+	if v != 3 {
+		t.Fatalf("new node index = %d, want 3", v)
+	}
+	if !s.G.Alive(v) || s.G.Degree(v) != 2 {
+		t.Fatal("join did not wire the newcomer")
+	}
+	if s.Delta(v) != 0 {
+		t.Errorf("newcomer δ = %d, want 0", s.Delta(v))
+	}
+	if s.Weight(v) != 1 {
+		t.Errorf("newcomer weight = %d, want 1", s.Weight(v))
+	}
+	if s.CurID(v) != s.InitID(v) {
+		t.Error("newcomer should label itself")
+	}
+	if s.Gp.Degree(v) != 0 {
+		t.Error("join must not create healing edges")
+	}
+	if s.Joined() != 1 {
+		t.Errorf("Joined = %d, want 1", s.Joined())
+	}
+	if s.TotalWeight() != 4 {
+		t.Errorf("total weight = %d, want 4", s.TotalWeight())
+	}
+}
+
+func TestJoinToDeadPanics(t *testing.T) {
+	s := NewState(gen.Line(3), rng.New(3))
+	s.Remove(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("join to dead node did not panic")
+		}
+	}()
+	s.Join([]int{1}, rng.New(4))
+}
+
+func TestJoinIsolated(t *testing.T) {
+	s := NewState(gen.Line(2), rng.New(5))
+	v := s.Join(nil, rng.New(6))
+	if s.G.Degree(v) != 0 || s.InitDegree(v) != 0 {
+		t.Fatal("isolated join should have degree 0")
+	}
+}
+
+// Churn property: interleave joins and DASH-healed deletions; all core
+// invariants must survive, including the degree bound relative to the
+// largest population ever alive.
+func TestChurnInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(30)
+		s := NewState(gen.BarabasiAlbert(n, 2, rng.New(seed+1)), rng.New(seed+2))
+		joinR := rng.New(seed + 3)
+		for step := 0; step < 3*n; step++ {
+			alive := s.G.AliveNodes()
+			if len(alive) == 0 {
+				break
+			}
+			if r.Intn(3) == 0 { // join: attach to up to 3 live nodes
+				k := 1 + r.Intn(3)
+				if k > len(alive) {
+					k = len(alive)
+				}
+				att := make([]int, 0, k)
+				for _, i := range r.Perm(len(alive))[:k] {
+					att = append(att, alive[i])
+				}
+				s.Join(att, joinR)
+			} else { // delete
+				s.DeleteAndHeal(alive[r.Intn(len(alive))], DASH{})
+			}
+			if !s.Gp.IsForest() || !s.Gp.IsSubgraphOf(s.G) {
+				return false
+			}
+			if s.TotalWeight() != int64(n+s.Joined()) {
+				return false
+			}
+			// Label invariant: components uniformly and uniquely labeled.
+			labels := s.Gp.ComponentLabels()
+			byComp := map[int]uint64{}
+			seen := map[uint64]bool{}
+			for _, v := range s.Gp.AliveNodes() {
+				if id, ok := byComp[labels[v]]; ok {
+					if id != s.CurID(v) {
+						return false
+					}
+				} else {
+					if seen[s.CurID(v)] {
+						return false
+					}
+					byComp[labels[v]] = s.CurID(v)
+					seen[s.CurID(v)] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Connectivity through churn: joins attach to the existing component, so
+// a DASH-healed network under joint churn and attack stays connected.
+func TestChurnKeepsConnectivity(t *testing.T) {
+	s := NewState(gen.BarabasiAlbert(40, 3, rng.New(7)), rng.New(8))
+	r := rng.New(9)
+	joinR := rng.New(10)
+	for step := 0; step < 120; step++ {
+		alive := s.G.AliveNodes()
+		if len(alive) < 2 {
+			break
+		}
+		if step%3 == 0 {
+			s.Join([]int{alive[r.Intn(len(alive))], alive[r.Intn(len(alive))]}, joinR)
+		} else {
+			s.DeleteAndHeal(s.G.MaxDegreeNode(), DASH{})
+		}
+		if !s.G.Connected() {
+			t.Fatalf("disconnected at step %d", step)
+		}
+	}
+}
+
+func TestJoinIDsStayUnique(t *testing.T) {
+	s := NewState(graph.New(2), rng.New(11))
+	r := rng.New(12)
+	seen := map[uint64]bool{s.InitID(0): true, s.InitID(1): true}
+	for i := 0; i < 50; i++ {
+		v := s.Join(nil, r)
+		if seen[s.InitID(v)] {
+			t.Fatal("duplicate initial ID after join")
+		}
+		seen[s.InitID(v)] = true
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestDASHName(t *testing.T) {
+	if (DASH{}).Name() != "DASH" {
+		t.Error("name wrong")
+	}
+}
+
+func TestDASHHealsStarDeletion(t *testing.T) {
+	n := 8
+	s := NewState(gen.Star(n), rng.New(1))
+	res := s.DeleteAndHeal(0, DASH{})
+	if res.RTSize != n-1 {
+		t.Errorf("RT size = %d, want %d", res.RTSize, n-1)
+	}
+	if len(res.Added) != n-2 {
+		t.Errorf("added %d edges, want %d (a tree over RT)", len(res.Added), n-2)
+	}
+	if !s.G.Connected() {
+		t.Fatal("star deletion not healed")
+	}
+	if !s.Gp.IsForest() {
+		t.Fatal("G' not a forest")
+	}
+	// Binary tree over n-1 nodes: max degree 3 (parent + two children),
+	// so δ ≤ 2 for every node (each also lost its hub edge).
+	for _, v := range s.G.AliveNodes() {
+		if d := s.Delta(v); d > 2 {
+			t.Errorf("node %d has δ=%d after one star heal, want ≤ 2", v, d)
+		}
+	}
+}
+
+func TestDASHLeafDeletionAddsNothing(t *testing.T) {
+	s := NewState(gen.Line(5), rng.New(2))
+	res := s.DeleteAndHeal(4, DASH{}) // endpoint: one neighbor
+	if res.RTSize != 1 || len(res.Added) != 0 {
+		t.Errorf("endpoint deletion should add no edges: %+v", res)
+	}
+	if !s.G.Connected() {
+		t.Fatal("line should stay connected")
+	}
+}
+
+func TestDASHIsolatedDeletion(t *testing.T) {
+	g := graph.New(3) // no edges at all
+	s := NewState(g, rng.New(3))
+	res := s.DeleteAndHeal(1, DASH{})
+	if res.RTSize != 0 || len(res.Added) != 0 {
+		t.Errorf("isolated deletion should be a no-op: %+v", res)
+	}
+}
+
+func TestDASHDeleteEverything(t *testing.T) {
+	// "even if up to all the nodes in the network are deleted".
+	n := 30
+	s := NewState(gen.BarabasiAlbert(n, 2, rng.New(4)), rng.New(5))
+	for _, x := range rng.New(6).Perm(n) {
+		s.DeleteAndHeal(x, DASH{})
+		if !s.G.Connected() {
+			t.Fatalf("disconnected with %d alive", s.G.NumAlive())
+		}
+	}
+	if s.G.NumAlive() != 0 {
+		t.Error("graph should be empty")
+	}
+}
+
+func TestDASHMaxDeltaNodesBecomeLeaves(t *testing.T) {
+	// The complete binary tree is filled in ascending δ order, so the
+	// highest-δ RT members land in leaves and their δ does not grow:
+	// they each lose the hub edge and gain exactly one parent edge.
+	g := graph.New(6)
+	hub := 5
+	for i := 0; i < 5; i++ {
+		g.AddEdge(hub, i)
+	}
+	s := NewState(g, rng.New(7))
+	// Inflate δ(0) and δ(1) to 2 via post-construction G edges.
+	s.G.AddEdge(0, 1)
+	s.G.AddEdge(0, 2)
+	s.G.AddEdge(1, 3)
+	if s.Delta(0) != 2 || s.Delta(1) != 2 {
+		t.Fatalf("setup wrong: δ(0)=%d δ(1)=%d, want 2,2", s.Delta(0), s.Delta(1))
+	}
+	s.DeleteAndHeal(hub, DASH{})
+	// The two max-δ nodes are the last two in sorted order, hence leaves
+	// of the 5-member tree: their δ must not exceed the pre-deletion 2.
+	if s.Delta(0) > 2 || s.Delta(1) > 2 {
+		t.Errorf("max-δ nodes gained degree: δ(0)=%d δ(1)=%d", s.Delta(0), s.Delta(1))
+	}
+	// The root is the unique min-δ member (node 4) and gains two child
+	// edges net of its lost hub edge.
+	if s.Delta(4) != 1 {
+		t.Errorf("root δ = %d, want 1", s.Delta(4))
+	}
+}
+
+// Theorem 1 (degree bound) as a property test across graph families and
+// adversarial-ish deletion orders (always delete the max-degree node).
+func TestDASHDegreeBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var g *graph.Graph
+		n := 10 + r.Intn(50)
+		switch r.Intn(4) {
+		case 0:
+			g = gen.BarabasiAlbert(n, 1+r.Intn(3), r)
+		case 1:
+			g = gen.RandomRecursiveTree(n, r)
+		case 2:
+			g = gen.Ring(n)
+		default:
+			g = gen.ConnectedErdosRenyi(n, 0.1, r)
+		}
+		s := NewState(g, rng.New(seed^0x9e37))
+		bound := 2 * math.Log2(float64(n))
+		for s.G.NumAlive() > 0 {
+			x := s.G.MaxDegreeNode()
+			s.DeleteAndHeal(x, DASH{})
+			if float64(s.MaxDelta()) > bound {
+				return false
+			}
+			if !s.G.Connected() || !s.Gp.IsForest() || !s.Gp.IsSubgraphOf(s.G) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 8's message bound, checked with the w.h.p. constant: every node's
+// component-maintenance traffic stays within 2(d + 2 log n) ln n.
+func TestDASHMessageBound(t *testing.T) {
+	r := rng.New(21)
+	n := 120
+	g := gen.BarabasiAlbert(n, 3, r)
+	initDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		initDeg[v] = g.Degree(v)
+	}
+	s := NewState(g, rng.New(22))
+	for _, x := range rng.New(23).Perm(n) {
+		s.DeleteAndHeal(x, DASH{})
+	}
+	logn := math.Log2(float64(n))
+	lnn := math.Log(float64(n))
+	for v := 0; v < n; v++ {
+		bound := 2 * (float64(initDeg[v]) + 2*logn) * lnn
+		if got := float64(s.Messages(v)); got > bound {
+			t.Errorf("node %d traffic %v exceeds Lemma 8 bound %v", v, got, bound)
+		}
+	}
+	// ID changes ≤ 2 ln n w.h.p. (record-breaking argument).
+	if c := float64(s.MaxIDChanges()); c > 2*lnn {
+		t.Errorf("max ID changes %v exceeds 2 ln n = %v", c, 2*lnn)
+	}
+}
+
+func TestDASHDeterminism(t *testing.T) {
+	run := func() *State {
+		g := gen.BarabasiAlbert(50, 2, rng.New(31))
+		s := NewState(g, rng.New(32))
+		for _, x := range rng.New(33).Perm(50)[:25] {
+			if s.G.Alive(x) {
+				s.DeleteAndHeal(x, DASH{})
+			}
+		}
+		return s
+	}
+	a, b := run(), run()
+	if !a.G.Equal(b.G) || !a.Gp.Equal(b.Gp) {
+		t.Fatal("same seeds must give identical topologies")
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.CurID(v) != b.CurID(v) || a.IDChanges(v) != b.IDChanges(v) {
+			t.Fatalf("per-node state diverged at %d", v)
+		}
+	}
+}

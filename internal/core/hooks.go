@@ -1,0 +1,35 @@
+package core
+
+// Hooks let observers (the trace recorder, debuggers, visualizers)
+// subscribe to every state mutation without the core paying any cost
+// when unused. All callbacks may be nil; they run synchronously inside
+// the mutation, so they must not call back into the State.
+type Hooks struct {
+	// OnRemove fires after node x has been removed from G and G′.
+	OnRemove func(x int)
+	// OnEdge fires when healing adds the edge (u,v): newInG reports
+	// whether G actually gained it (false when the edge already existed
+	// and only G′ adopted it); inGp reports whether it entered G′.
+	OnEdge func(u, v int, newInG, inGp bool)
+	// OnAdopt fires when v lowers its component label to id.
+	OnAdopt func(v int, id uint64)
+	// OnJoin fires after a new node v joined, attached to attach.
+	OnJoin func(v int, attach []int)
+}
+
+// SetHooks installs the observer callbacks (nil disables them).
+func (s *State) SetHooks(h *Hooks) { s.hooks = h }
+
+// AddShortcutEdge inserts a G-only healing shortcut (u,v) — an edge
+// between nodes already in one G′ component, so it must not enter the
+// forest. Used by full surrogation. Reports whether G gained the edge.
+func (s *State) AddShortcutEdge(u, v int) bool {
+	if s.G.HasEdge(u, v) {
+		return false
+	}
+	s.G.AddEdge(u, v)
+	if s.hooks != nil && s.hooks.OnEdge != nil {
+		s.hooks.OnEdge(u, v, true, false)
+	}
+	return true
+}

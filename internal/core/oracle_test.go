@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// The oracle must reproduce DASH's behaviour exactly — same topology,
+// same healing forest — while sending zero component-label messages.
+// This is the empirical answer to the paper's open problem: the IDs buy
+// locality, not healing quality.
+func TestOracleDASHMatchesDASHTopology(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(50)
+		build := func() *State {
+			return NewState(gen.BarabasiAlbert(n, 3, rng.New(seed+1)), rng.New(seed+2))
+		}
+		a := build() // DASH
+		b := build() // OracleDASH
+		order := r.Perm(n)
+		for _, x := range order {
+			a.DeleteAndHeal(x, DASH{})
+			b.DeleteAndHeal(x, OracleDASH{})
+			if !a.G.Equal(b.G) || !a.Gp.Equal(b.Gp) {
+				return false
+			}
+		}
+		return b.MaxMessages() == 0 && a.MaxMessages() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOracleDASHInvariants(t *testing.T) {
+	n := 60
+	s := NewState(gen.BarabasiAlbert(n, 3, rng.New(1)), rng.New(2))
+	for s.G.NumAlive() > 0 {
+		s.DeleteAndHeal(s.G.MaxDegreeNode(), OracleDASH{})
+		if !s.G.Connected() {
+			t.Fatal("oracle lost connectivity")
+		}
+		if !s.Gp.IsForest() || !s.Gp.IsSubgraphOf(s.G) {
+			t.Fatal("oracle broke the forest invariant")
+		}
+	}
+}
+
+func TestOracleName(t *testing.T) {
+	if (OracleDASH{}).Name() != "OracleDASH" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+// This file implements the potential function of the paper's analysis
+// (§2.2) so the test suite can check the proof's invariants on real
+// executions:
+//
+//	rem(v) = W(T_v) − max_{u ∈ N(v,G′)} W(T(u,v))
+//
+// where T_v is v's tree in the healing forest G′, W is total node weight,
+// and T(u,v) is the subtree containing u when v is removed from T_v.
+// Lemma 2: rem(v) never decreases while v is alive. Lemma 4:
+// rem(v) ≥ 2^{δ(v)/2}. Lemma 5: rem(v) ≤ n. Together these give
+// Lemma 6's bound δ(v) ≤ 2·log₂ n.
+
+// ComponentWeight returns W(T_v): the total weight of v's G′ component.
+// It returns 0 for dead nodes.
+func (s *State) ComponentWeight(v int) int64 {
+	if !s.Gp.Alive(v) {
+		return 0
+	}
+	var total int64
+	for _, x := range s.gpComponent(v, -1) {
+		total += s.weight[x]
+	}
+	return total
+}
+
+// SubtreeWeight returns W(T(u, v)): the weight of u's side of G′ when v
+// is removed. u must be a G′ neighbor of v for the paper's definition,
+// though the traversal works for any u ≠ v.
+func (s *State) SubtreeWeight(u, v int) int64 {
+	if !s.Gp.Alive(u) {
+		return 0
+	}
+	var total int64
+	for _, x := range s.gpComponent(u, v) {
+		total += s.weight[x]
+	}
+	return total
+}
+
+// Rem computes the potential rem(v). For a node with no G′ neighbors it
+// equals w(v), matching the base case rem(v) = 1 at time 0.
+func (s *State) Rem(v int) int64 {
+	if !s.Gp.Alive(v) {
+		return 0
+	}
+	total := s.ComponentWeight(v)
+	var maxSub int64
+	for _, u := range s.Gp.Neighbors(v) {
+		if w := s.SubtreeWeight(u, v); w > maxSub {
+			maxSub = w
+		}
+	}
+	return total - maxSub
+}
+
+// gpComponent returns the nodes of src's G′ component, never crossing
+// through the excluded node (pass -1 to disable exclusion).
+func (s *State) gpComponent(src, excluded int) []int {
+	seen := map[int]struct{}{src: {}}
+	queue := []int{src}
+	out := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range s.Gp.Neighbors(v) {
+			if u == excluded {
+				continue
+			}
+			if _, ok := seen[u]; ok {
+				continue
+			}
+			seen[u] = struct{}{}
+			queue = append(queue, u)
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestRemBaseCase(t *testing.T) {
+	s := NewState(gen.Line(3), rng.New(1))
+	for v := 0; v < 3; v++ {
+		if s.Rem(v) != 1 {
+			t.Errorf("fresh rem(%d) = %d, want 1 (w(v) with empty G')", v, s.Rem(v))
+		}
+	}
+}
+
+func TestRemHandComputed(t *testing.T) {
+	// G' path 0-1-2-3, unit weights. rem(v) = W(T_v) - max subtree.
+	g := gen.Complete(4)
+	s := NewState(g, rng.New(2))
+	s.AddHealingEdge(0, 1)
+	s.AddHealingEdge(1, 2)
+	s.AddHealingEdge(2, 3)
+	s.PropagateMinID([]int{0, 1, 2, 3})
+	// rem(0): subtrees {1,2,3} -> max 3; 4-3 = 1.
+	if got := s.Rem(0); got != 1 {
+		t.Errorf("rem(0) = %d, want 1", got)
+	}
+	// rem(1): subtrees {0} and {2,3} -> max 2; 4-2 = 2.
+	if got := s.Rem(1); got != 2 {
+		t.Errorf("rem(1) = %d, want 2", got)
+	}
+	if got := s.Rem(2); got != 2 {
+		t.Errorf("rem(2) = %d, want 2", got)
+	}
+	if s.ComponentWeight(0) != 4 {
+		t.Errorf("component weight = %d, want 4", s.ComponentWeight(0))
+	}
+	if s.SubtreeWeight(2, 1) != 2 {
+		t.Errorf("subtree weight of 2 against 1 = %d, want 2", s.SubtreeWeight(2, 1))
+	}
+	if s.Rem(4) != 0 {
+		t.Error("rem of an out-of-range node should be 0")
+	}
+}
+
+func TestRemOfDeadNodeIsZero(t *testing.T) {
+	s := NewState(gen.Line(3), rng.New(3))
+	s.Remove(1)
+	if s.Rem(1) != 0 {
+		t.Error("rem of dead node should be 0")
+	}
+}
+
+// Lemma 4 + Lemma 5 as a property test: run DASH to exhaustion on random
+// connected graphs under random deletion orders and assert
+// 2^{δ(v)/2} ≤ rem(v) ≤ n for every alive node after every round.
+func TestLemma4And5Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(40)
+		g := gen.ConnectedErdosRenyi(n, 0.1, r)
+		s := NewState(g, rng.New(seed+1))
+		order := r.Perm(n)
+		for _, x := range order {
+			s.DeleteAndHeal(x, DASH{})
+			for _, v := range s.G.AliveNodes() {
+				rem := float64(s.Rem(v))
+				if rem > float64(n) {
+					return false // Lemma 5 violated
+				}
+				if d := s.Delta(v); d > 0 && rem < math.Pow(2, float64(d)/2)-1e-9 {
+					return false // Lemma 4 violated
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 2 as a property test: rem(v) never decreases over rounds in which
+// v survives.
+func TestLemma2RemNonDecreasing(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(30)
+		g := gen.ConnectedErdosRenyi(n, 0.15, r)
+		s := NewState(g, rng.New(seed+7))
+		prev := make([]int64, n)
+		for v := 0; v < n; v++ {
+			prev[v] = s.Rem(v)
+		}
+		for _, x := range r.Perm(n) {
+			s.DeleteAndHeal(x, DASH{})
+			for _, v := range s.G.AliveNodes() {
+				cur := s.Rem(v)
+				if cur < prev[v] {
+					return false
+				}
+				prev[v] = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightConservationThroughRun(t *testing.T) {
+	r := rng.New(11)
+	n := 40
+	s := NewState(gen.BarabasiAlbert(n, 2, r), rng.New(12))
+	for _, x := range rng.New(13).Perm(n) {
+		s.DeleteAndHeal(x, DASH{})
+		if w := s.TotalWeight(); w != int64(n) {
+			t.Fatalf("weight not conserved: %d != %d", w, n)
+		}
+	}
+}

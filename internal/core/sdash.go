@@ -1,0 +1,36 @@
+package core
+
+// SDASH is Algorithm 3 of the paper: Surrogate Degree-Based Self-Healing,
+// the heuristic of §4.6.2 that empirically keeps both degree increase and
+// stretch low.
+//
+// A node "surrogates" when it replaces the deleted neighbor, taking all
+// of the reconnection set's connections onto itself (a star). Surrogation
+// never increases stretch — no path gets longer than it was through the
+// deleted node. SDASH surrogates whenever it can do so without pushing
+// any node's δ past the current RT maximum: it picks w minimizing δ(w)
+// and surrogates if δ(w) + |RT| − 1 ≤ δ(m), where m is the max-δ member;
+// otherwise it falls back to DASH's binary tree.
+type SDASH struct{}
+
+// Name implements Healer.
+func (SDASH) Name() string { return "SDASH" }
+
+// Heal implements Healer.
+func (SDASH) Heal(s *State, d Deletion) HealResult {
+	rt := s.ReconnectSet(d)
+	res := HealResult{RTSize: len(rt)}
+	if len(rt) == 0 {
+		return res
+	}
+	s.SortByDelta(rt) // ascending δ: rt[0] is the best surrogate candidate
+	w, m := rt[0], rt[len(rt)-1]
+	if s.Delta(w)+len(rt)-1 <= s.Delta(m) {
+		res.Added = s.WireStar(w, rt)
+		res.Surrogated = true
+	} else {
+		res.Added = s.WireBinaryTree(rt)
+	}
+	s.PropagateMinID(rt)
+	return res
+}

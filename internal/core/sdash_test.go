@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSDASHName(t *testing.T) {
+	if (SDASH{}).Name() != "SDASH" {
+		t.Error("name wrong")
+	}
+}
+
+func TestSDASHSurrogatesWhenCheap(t *testing.T) {
+	// Hub with two neighbors, one of which has a large δ: surrogation
+	// condition δ(w) + |RT| - 1 ≤ δ(m) holds, so the low-δ node absorbs
+	// all connections.
+	g := graph.New(6)
+	hub := 5
+	g.AddEdge(hub, 0)
+	g.AddEdge(hub, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	s := NewState(g, rng.New(1))
+	// δ(1) = 3 via post-construction edges; δ(0) stays 0.
+	s.G.AddEdge(1, 3)
+	s.G.AddEdge(1, 4)
+	s.G.AddEdge(1, 0)
+	if s.Delta(1) != 3 {
+		t.Fatalf("setup: δ(1) = %d, want 3", s.Delta(1))
+	}
+	res := s.DeleteAndHeal(hub, SDASH{})
+	if !res.Surrogated {
+		t.Fatalf("expected surrogation: %+v", res)
+	}
+	if !s.G.Connected() {
+		t.Fatal("disconnected after surrogation")
+	}
+}
+
+func TestSDASHFallsBackToBinaryTree(t *testing.T) {
+	// All RT members tied at δ=0 and |RT| large: the condition
+	// δ(w) + |RT| - 1 ≤ δ(m) = 0 fails, so SDASH builds DASH's tree.
+	s := NewState(gen.Star(8), rng.New(2))
+	res := s.DeleteAndHeal(0, SDASH{})
+	if res.Surrogated {
+		t.Fatal("surrogation should not trigger on a uniform star")
+	}
+	if !s.G.Connected() || !s.Gp.IsForest() {
+		t.Fatal("fallback heal broken")
+	}
+}
+
+func TestSDASHSurrogationKeepsMaxDelta(t *testing.T) {
+	// Surrogation must never raise the RT's maximum δ over its value
+	// *before the deletion*: every RT member lost its edge to x, the
+	// center's condition caps its regrowth at δ(m), and the other
+	// members regain at most the one edge they lost.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(40)
+		g := gen.BarabasiAlbert(n, 2, r)
+		s := NewState(g, rng.New(seed+1))
+		for s.G.NumAlive() > 1 {
+			x := s.G.MaxDegreeNode()
+			pre := make(map[int]int)
+			for _, v := range s.G.Neighbors(x) {
+				pre[v] = s.Delta(v)
+			}
+			d := s.Remove(x)
+			rt := s.ReconnectSet(d)
+			maxPre := 0
+			for _, v := range rt {
+				if pre[v] > maxPre {
+					maxPre = pre[v]
+				}
+			}
+			res := SDASH{}.Heal(s, d)
+			if res.Surrogated {
+				for _, v := range rt {
+					if s.Delta(v) > maxPre {
+						return false
+					}
+				}
+			}
+			if !s.G.Connected() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SDASH keeps the same headline guarantees as DASH in practice: full-run
+// connectivity, forest invariant, and the empirical O(log n) degree bound
+// (§4.6.2 reports it stays within about log n).
+func TestSDASHFullRunInvariants(t *testing.T) {
+	r := rng.New(3)
+	n := 80
+	s := NewState(gen.BarabasiAlbert(n, 3, r), rng.New(4))
+	for s.G.NumAlive() > 0 {
+		x := s.G.MaxDegreeNode()
+		s.DeleteAndHeal(x, SDASH{})
+		if !s.G.Connected() {
+			t.Fatal("SDASH lost connectivity")
+		}
+		if !s.Gp.IsForest() || !s.Gp.IsSubgraphOf(s.G) {
+			t.Fatal("SDASH broke the G' invariants")
+		}
+	}
+	// Empirical degree bound: allow the same 2·log₂ n as DASH.
+	if d := float64(s.MaxDelta()); d > 2*math.Log2(float64(n)) {
+		t.Errorf("SDASH max δ = %v exceeds 2·log₂ n", d)
+	}
+}
+
+func TestSDASHEmptyRT(t *testing.T) {
+	g := graph.New(2)
+	s := NewState(g, rng.New(5))
+	res := s.DeleteAndHeal(0, SDASH{})
+	if res.RTSize != 0 || res.Surrogated {
+		t.Errorf("isolated deletion should be a no-op: %+v", res)
+	}
+}
+
+func TestSDASHSingleNeighborSurrogates(t *testing.T) {
+	// |RT| = 1 satisfies the condition trivially (δ(w) + 0 ≤ δ(w)):
+	// the lone neighbor "absorbs" the deleted node with zero new edges.
+	s := NewState(gen.Line(3), rng.New(6))
+	res := s.DeleteAndHeal(2, SDASH{})
+	if !res.Surrogated || len(res.Added) != 0 {
+		t.Errorf("single-neighbor deletion: %+v", res)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+// SDASHFull implements the *prose* semantics of surrogation in §4.6.2:
+// "we say a node surrogates if it replaces its deleted neighbor in the
+// network, i.e. it takes all the connections of the deleted neighbor to
+// itself". Under that rule every path through the deleted node keeps its
+// length exactly (p–v–q becomes p–w–q), which is the paper's argument
+// for why "surrogation never increases stretch".
+//
+// The printed Algorithm 3 stars only the reconnection set RT = UN ∪ N′,
+// which preserves connectivity and degrees but not path lengths between
+// non-representative neighbors — and, as EXPERIMENTS.md documents, the
+// printed rule does not reproduce Figure 10's low SDASH stretch while
+// this prose rule does. Both variants are provided; SDASH is the printed
+// algorithm, SDASHFull is the prose one.
+//
+// Bookkeeping note: the surrogate's edges to RT members merge healing-
+// forest components and are recorded in G′; its edges to the remaining
+// neighbors are pure shortcuts inside already-connected components and
+// are added to G only, keeping G′ a forest and every DASH invariant
+// intact.
+type SDASHFull struct{}
+
+// Name implements Healer.
+func (SDASHFull) Name() string { return "SDASHFull" }
+
+// Heal implements Healer.
+func (SDASHFull) Heal(s *State, d Deletion) HealResult {
+	rt := s.ReconnectSet(d)
+	res := HealResult{RTSize: len(rt)}
+	if len(rt) == 0 {
+		return res
+	}
+	s.SortByDelta(rt)
+
+	// Surrogation condition against the full neighbor set: the surrogate
+	// takes every connection of the deleted node, so its worst-case gain
+	// is |N(v)| - 1 edges.
+	w := minDeltaNeighbor(s, d.GNbrs)
+	m := maxDelta(s, d.GNbrs)
+	if w >= 0 && s.Delta(w)+len(d.GNbrs)-1 <= m {
+		// An edge enters the healing forest G′ only when it merges two
+		// G′ components that are still separate; the rest are shortcuts
+		// recorded in G alone, so G′ stays a forest.
+		labels := s.Gp.ComponentLabels()
+		merged := map[int]struct{}{labels[w]: {}}
+		for _, u := range d.GNbrs {
+			if u == w {
+				continue
+			}
+			if _, same := merged[labels[u]]; !same {
+				merged[labels[u]] = struct{}{}
+				if s.AddHealingEdge(w, u) {
+					res.Added = append(res.Added, [2]int{w, u})
+				}
+				continue
+			}
+			if s.AddShortcutEdge(w, u) {
+				res.Added = append(res.Added, [2]int{w, u})
+			}
+		}
+		res.Surrogated = true
+		// Every neighbor now borders the merged component; flood from
+		// the full neighbor set so labels stay exact.
+		s.PropagateMinID(append([]int{w}, d.GNbrs...))
+		return res
+	}
+	res.Added = s.WireBinaryTree(rt)
+	s.PropagateMinID(rt)
+	return res
+}
+
+// minDeltaNeighbor returns the member of vs with the smallest (δ,
+// initial ID), or -1 for an empty set.
+func minDeltaNeighbor(s *State, vs []int) int {
+	best := -1
+	for _, v := range vs {
+		if best < 0 || s.Delta(v) < s.Delta(best) ||
+			(s.Delta(v) == s.Delta(best) && s.initID[v] < s.initID[best]) {
+			best = v
+		}
+	}
+	return best
+}
+
+// maxDelta returns the largest δ among vs (0 for an empty set).
+func maxDelta(s *State, vs []int) int {
+	m := 0
+	for i, v := range vs {
+		if d := s.Delta(v); i == 0 || d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+func TestSDASHFullName(t *testing.T) {
+	if (SDASHFull{}).Name() != "SDASHFull" {
+		t.Error("name wrong")
+	}
+}
+
+// Full surrogation takes *every* connection of the deleted node: paths
+// through the deleted node keep their exact length.
+func TestSDASHFullPreservesPathsOnSurrogation(t *testing.T) {
+	// Hub 0 with leaves 1..4; a joined node 5 and extra edges give node 1
+	// a large δ, so the surrogation condition has headroom.
+	g := gen.Star(5)
+	s := NewState(g.Clone(), rng.New(1))
+	s.Join([]int{1}, rng.New(2)) // node 5, bumps δ(1) to 1
+	s.G.AddEdge(1, 2)
+	s.G.AddEdge(1, 3)
+	s.G.AddEdge(1, 4)
+	if s.Delta(1) != 4 {
+		t.Fatalf("setup δ(1) = %d, want 4", s.Delta(1))
+	}
+	st := metrics.NewStretch(s.G)
+	res := s.DeleteAndHeal(0, SDASHFull{})
+	if !res.Surrogated {
+		t.Fatalf("expected surrogation: %+v", res)
+	}
+	// Every pair formerly routed through the hub keeps distance <= 2.
+	r := st.Measure(s.G)
+	if r.Max > 1 {
+		t.Errorf("stretch after full surrogation = %v, want 1", r.Max)
+	}
+}
+
+// The variant keeps all of DASH's structural invariants.
+func TestSDASHFullInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(50)
+		s := NewState(gen.BarabasiAlbert(n, 3, rng.New(seed+1)), rng.New(seed+2))
+		for s.G.NumAlive() > 0 {
+			s.DeleteAndHeal(s.G.MaxDegreeNode(), SDASHFull{})
+			if !s.G.Connected() {
+				return false
+			}
+			if !s.Gp.IsForest() || !s.Gp.IsSubgraphOf(s.G) {
+				return false
+			}
+			// Label invariant.
+			labels := s.Gp.ComponentLabels()
+			byComp := map[int]uint64{}
+			seen := map[uint64]bool{}
+			for _, v := range s.Gp.AliveNodes() {
+				if id, ok := byComp[labels[v]]; ok {
+					if id != s.CurID(v) {
+						return false
+					}
+				} else {
+					if seen[s.CurID(v)] {
+						return false
+					}
+					byComp[labels[v]] = s.CurID(v)
+					seen[s.CurID(v)] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Against the MaxNode attack (the paper's stretch adversary), the prose
+// variant must produce materially lower stretch than the printed
+// Algorithm 3 while keeping comparable degree discipline.
+func TestSDASHFullBeatsPrintedSDASHOnStretch(t *testing.T) {
+	run := func(h Healer) (stretch float64, peak int) {
+		g := gen.BarabasiAlbert(150, 3, rng.New(5))
+		st := metrics.NewStretch(g)
+		s := NewState(g.Clone(), rng.New(6))
+		maxStretch := 1.0
+		for round := 0; s.G.NumAlive() > 2; round++ {
+			s.DeleteAndHeal(s.G.MaxDegreeNode(), h)
+			if d := s.MaxDelta(); d > peak {
+				peak = d
+			}
+			if round%15 == 0 {
+				if r := st.Measure(s.G); r.Max > maxStretch {
+					maxStretch = r.Max
+				}
+			}
+		}
+		return maxStretch, peak
+	}
+	fullStretch, fullPeak := run(SDASHFull{})
+	printedStretch, _ := run(SDASH{})
+	if fullStretch >= printedStretch {
+		t.Errorf("full surrogation stretch %.2f should beat printed %.2f",
+			fullStretch, printedStretch)
+	}
+	if fullPeak > 16 { // 2·log₂(150) ≈ 14.5, allow slack of the heuristic
+		t.Errorf("full surrogation peak δ = %d, lost degree discipline", fullPeak)
+	}
+}

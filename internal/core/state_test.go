@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// checkLabelInvariant asserts that current IDs are a perfect component
+// labeling of G′: every component uniform, distinct components distinct,
+// and each label no larger than the smallest initial ID of its members
+// (labels are historical minima, so deleted holders may have been lower).
+func checkLabelInvariant(t *testing.T, s *State) {
+	t.Helper()
+	labels := s.Gp.ComponentLabels()
+	byComp := map[int]uint64{}
+	usedID := map[uint64]int{}
+	for _, v := range s.Gp.AliveNodes() {
+		comp := labels[v]
+		if id, ok := byComp[comp]; ok {
+			if id != s.CurID(v) {
+				t.Fatalf("component %d has mixed labels %d and %d", comp, id, s.CurID(v))
+			}
+		} else {
+			byComp[comp] = s.CurID(v)
+			if prev, clash := usedID[s.CurID(v)]; clash {
+				t.Fatalf("components %d and %d share label %d", prev, comp, s.CurID(v))
+			}
+			usedID[s.CurID(v)] = comp
+		}
+		if s.CurID(v) > s.InitID(v) {
+			t.Fatalf("node %d label %d above its own initial ID %d", v, s.CurID(v), s.InitID(v))
+		}
+	}
+}
+
+// checkCoreInvariants asserts the paper's structural guarantees after a
+// heal round: G′ ⊆ G, G′ a forest (Lemma 1), surviving G connected
+// (Theorem 1), labels perfect, weight conserved (Lemma 5 bookkeeping).
+func checkCoreInvariants(t *testing.T, s *State, n int) {
+	t.Helper()
+	if !s.Gp.IsSubgraphOf(s.G) {
+		t.Fatal("G' is not a subgraph of G")
+	}
+	if !s.Gp.IsForest() {
+		t.Fatal("G' is not a forest (Lemma 1 violated)")
+	}
+	if !s.G.Connected() {
+		t.Fatal("surviving graph disconnected (Theorem 1 violated)")
+	}
+	checkLabelInvariant(t, s)
+	if w := s.TotalWeight(); w != int64(n) {
+		t.Fatalf("total weight %d, want %d", w, n)
+	}
+}
+
+func TestNewStateBasics(t *testing.T) {
+	g := gen.Line(4)
+	s := NewState(g, rng.New(1))
+	if s.N() != 4 || s.Rounds() != 0 {
+		t.Fatal("fresh state malformed")
+	}
+	for v := 0; v < 4; v++ {
+		if s.CurID(v) != s.InitID(v) {
+			t.Errorf("node %d current ID should equal initial ID", v)
+		}
+		if s.Delta(v) != 0 {
+			t.Errorf("node %d delta should start 0", v)
+		}
+		if s.Weight(v) != 1 {
+			t.Errorf("node %d weight should start 1", v)
+		}
+	}
+	if s.InitDegree(0) != 1 || s.InitDegree(1) != 2 {
+		t.Error("initial degrees wrong")
+	}
+	// Initial IDs must be distinct.
+	seen := map[uint64]bool{}
+	for v := 0; v < 4; v++ {
+		if seen[s.InitID(v)] {
+			t.Fatal("duplicate initial ID")
+		}
+		seen[s.InitID(v)] = true
+	}
+}
+
+func TestRemoveSnapshot(t *testing.T) {
+	g := gen.Star(4) // 0 is the hub
+	s := NewState(g, rng.New(2))
+	d := s.Remove(0)
+	if d.Node != 0 {
+		t.Error("snapshot node wrong")
+	}
+	if len(d.GNbrs) != 3 || d.GNbrs[0] != 1 || d.GNbrs[2] != 3 {
+		t.Errorf("GNbrs = %v, want [1 2 3]", d.GNbrs)
+	}
+	if len(d.GpNbrs) != 0 {
+		t.Error("no healing edges should exist yet")
+	}
+	if s.G.Alive(0) || s.Gp.Alive(0) {
+		t.Error("node not removed from both graphs")
+	}
+	// Weight moved to a surviving G neighbor; nothing dropped.
+	if s.TotalWeight() != 4 {
+		t.Errorf("total weight = %d, want 4", s.TotalWeight())
+	}
+}
+
+func TestRemoveIsolatedDropsWeight(t *testing.T) {
+	g := graph.New(2)
+	s := NewState(g, rng.New(3))
+	s.Remove(0)
+	if s.TotalWeight() != 2 {
+		t.Errorf("total weight = %d, want 2 (1 live + 1 dropped)", s.TotalWeight())
+	}
+}
+
+func TestRemoveDeadPanics(t *testing.T) {
+	s := NewState(gen.Line(3), rng.New(4))
+	s.Remove(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Remove did not panic")
+		}
+	}()
+	s.Remove(1)
+}
+
+func TestUniqueNeighborsPartitions(t *testing.T) {
+	// Star: delete hub. All leaves have distinct IDs, so UN = all leaves.
+	s := NewState(gen.Star(5), rng.New(5))
+	d := s.Remove(0)
+	un := s.UniqueNeighbors(d)
+	if len(un) != 4 {
+		t.Fatalf("UN = %v, want all four leaves", un)
+	}
+	// After DASH heals, the leaves share one component. Delete one leaf:
+	// its neighbors now share a label, so UN of a future deletion should
+	// collapse classes.
+	DASH{}.Heal(s, d)
+	checkLabelInvariant(t, s)
+	d2 := s.Remove(1)
+	un2 := s.UniqueNeighbors(d2)
+	// Every surviving neighbor of node 1 has node 1's own label (they are
+	// all in the same G' tree), so UN must be empty and RT = GpNbrs only.
+	if len(un2) != 0 {
+		t.Errorf("UN after merge = %v, want empty", un2)
+	}
+	rt := s.ReconnectSet(d2)
+	if len(rt) != len(d2.GpNbrs) {
+		t.Errorf("RT = %v, want exactly the G' neighbors %v", rt, d2.GpNbrs)
+	}
+}
+
+func TestUniqueNeighborsPicksLowestInitID(t *testing.T) {
+	// Two components, one with several boundary nodes: the representative
+	// must be the lowest-initial-ID member of each class.
+	g := graph.New(5)
+	// x=0 adjacent to 1,2 (component A, to be merged) and 3 (component B).
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2) // A is internally connected in G
+	g.AddEdge(3, 4)
+	s := NewState(g, rng.New(6))
+	// Merge 1 and 2 into one G' component manually via a heal-like step.
+	s.AddHealingEdge(1, 2)
+	s.PropagateMinID([]int{1, 2})
+	d := s.Remove(0)
+	un := s.UniqueNeighbors(d)
+	if len(un) != 2 {
+		t.Fatalf("UN = %v, want one rep from {1,2} and node 3", un)
+	}
+	wantRep := 1
+	if s.InitID(2) < s.InitID(1) {
+		wantRep = 2
+	}
+	if un[0] != wantRep && un[1] != wantRep {
+		t.Errorf("UN = %v, want the lowest-init-ID rep %d", un, wantRep)
+	}
+}
+
+func TestSortByDelta(t *testing.T) {
+	g := graph.New(6)
+	for i := 1; i < 6; i++ {
+		g.AddEdge(0, i)
+	}
+	s := NewState(g, rng.New(7))
+	// Give nodes different deltas by adding G-only edges.
+	s.G.AddEdge(1, 2) // δ(1)=δ(2)=1
+	s.G.AddEdge(1, 3) // δ(1)=2, δ(3)=1
+	members := []int{1, 2, 3, 4, 5}
+	s.SortByDelta(members)
+	// δ: 4,5 → 0; 2,3 → 1; 1 → 2. Ties resolved by initial ID.
+	if d0, d1 := s.Delta(members[0]), s.Delta(members[1]); d0 != 0 || d1 != 0 {
+		t.Errorf("first two should have δ=0, got %d,%d", d0, d1)
+	}
+	if members[4] != 1 {
+		t.Errorf("highest-δ node should be last, got %v", members)
+	}
+	for i := 0; i+1 < len(members); i++ {
+		a, b := members[i], members[i+1]
+		if s.Delta(a) > s.Delta(b) {
+			t.Fatalf("not sorted by delta: %v", members)
+		}
+		if s.Delta(a) == s.Delta(b) && s.InitID(a) > s.InitID(b) {
+			t.Fatalf("tie not broken by initial ID: %v", members)
+		}
+	}
+}
+
+func TestWireBinaryTreeShape(t *testing.T) {
+	g := graph.New(8)
+	hub := 7
+	for i := 0; i < 7; i++ {
+		g.AddEdge(hub, i)
+	}
+	s := NewState(g, rng.New(8))
+	s.Remove(hub)
+	members := []int{0, 1, 2, 3, 4, 5, 6}
+	added := s.WireBinaryTree(members)
+	if len(added) != 6 {
+		t.Fatalf("added %d edges, want 6", len(added))
+	}
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}}
+	for _, e := range wantEdges {
+		if !s.G.HasEdge(e[0], e[1]) || !s.Gp.HasEdge(e[0], e[1]) {
+			t.Errorf("missing tree edge %v", e)
+		}
+	}
+	// Root has 2 children, internal nodes parent+2, leaves parent only.
+	if s.G.Degree(0) != 2 || s.G.Degree(1) != 3 || s.G.Degree(3) != 1 {
+		t.Error("binary tree degrees wrong")
+	}
+}
+
+func TestWireStarAndLine(t *testing.T) {
+	g := graph.New(5)
+	hub := 4
+	for i := 0; i < 4; i++ {
+		g.AddEdge(hub, i)
+	}
+	s := NewState(g, rng.New(9))
+	s.Remove(hub)
+	if added := s.WireStar(1, []int{0, 1, 2, 3}); len(added) != 3 {
+		t.Errorf("star added %d edges, want 3", len(added))
+	}
+	if s.G.Degree(1) != 3 {
+		t.Error("star center degree wrong")
+	}
+
+	g2 := graph.New(5)
+	hub2 := 4
+	for i := 0; i < 4; i++ {
+		g2.AddEdge(hub2, i)
+	}
+	s2 := NewState(g2, rng.New(10))
+	s2.Remove(hub2)
+	if added := s2.WireLine([]int{0, 1, 2, 3}); len(added) != 3 {
+		t.Errorf("line added %d edges, want 3", len(added))
+	}
+	if s2.G.Degree(0) != 1 || s2.G.Degree(1) != 2 {
+		t.Error("line degrees wrong")
+	}
+}
+
+func TestAddHealingEdgeExistingGEdge(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	s := NewState(g, rng.New(11))
+	if s.AddHealingEdge(0, 1) {
+		t.Error("edge already in G: should report no new G edge")
+	}
+	if !s.Gp.HasEdge(0, 1) {
+		t.Error("G' should still gain the healing edge")
+	}
+	if s.Delta(0) != 0 {
+		t.Error("reusing an existing G edge must not increase degree")
+	}
+}
+
+func TestPropagateMinIDFloodsWholeTree(t *testing.T) {
+	// Build a G' path 0-1-2 with labels, then merge component {3}.
+	g := gen.Complete(4)
+	s := NewState(g, rng.New(12))
+	s.AddHealingEdge(0, 1)
+	s.AddHealingEdge(1, 2)
+	s.PropagateMinID([]int{0, 1, 2})
+	s.AddHealingEdge(2, 3)
+	s.PropagateMinID([]int{2, 3})
+	want := s.CurID(0)
+	for v := 1; v < 4; v++ {
+		if s.CurID(v) != want {
+			t.Fatalf("node %d label %d, want %d", v, s.CurID(v), want)
+		}
+	}
+	min := s.InitID(0)
+	for v := 1; v < 4; v++ {
+		if s.InitID(v) < min {
+			min = s.InitID(v)
+		}
+	}
+	if want != min {
+		t.Fatalf("merged label %d, want min initial ID %d", want, min)
+	}
+}
+
+func TestPropagateMinIDMessageAccounting(t *testing.T) {
+	g := gen.Complete(3)
+	s := NewState(g, rng.New(13))
+	s.AddHealingEdge(0, 1)
+	s.PropagateMinID([]int{0, 1})
+	// Exactly one of {0,1} changed its label and notified both its G
+	// neighbors; each neighbor received one message.
+	changes := s.IDChanges(0) + s.IDChanges(1) + s.IDChanges(2)
+	if changes != 1 {
+		t.Fatalf("total ID changes = %d, want 1", changes)
+	}
+	var sent, recv int64
+	for v := 0; v < 3; v++ {
+		sent += s.msgSent[v]
+		recv += s.msgRecv[v]
+	}
+	if sent != 2 || recv != 2 {
+		t.Fatalf("sent/recv = %d/%d, want 2/2", sent, recv)
+	}
+	if s.MaxMessages() < 2 {
+		t.Error("MaxMessages should reflect the changing node's traffic")
+	}
+}
+
+func TestPropagateMinIDEmptyRT(t *testing.T) {
+	s := NewState(gen.Line(2), rng.New(14))
+	s.PropagateMinID(nil) // must not panic
+}
+
+// Full-run invariant test: DASH on a BA graph under random deletions,
+// checking every paper invariant after every round.
+func TestDASHFullRunInvariants(t *testing.T) {
+	r := rng.New(42)
+	n := 60
+	g := gen.BarabasiAlbert(n, 3, r)
+	s := NewState(g, rng.New(43))
+	h := DASH{}
+	order := rng.New(44).Perm(n)
+	logn := math.Log2(float64(n))
+	for _, x := range order {
+		if !s.G.Alive(x) {
+			t.Fatal("all nodes should stay alive until deleted (nothing else kills them)")
+		}
+		s.DeleteAndHeal(x, h)
+		if s.G.NumAlive() == 0 {
+			break
+		}
+		checkCoreInvariants(t, s, n)
+		if d := s.MaxDelta(); float64(d) > 2*logn {
+			t.Fatalf("max δ = %d exceeds 2·log₂ n = %.1f (Lemma 6 violated)", d, 2*logn)
+		}
+	}
+	if s.Rounds() != n {
+		t.Errorf("rounds = %d, want %d", s.Rounds(), n)
+	}
+}
+
+func TestDeltaCanGoNegative(t *testing.T) {
+	// A neighbor not selected into RT loses an edge with no replacement.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2) // 1 and 2 also directly connected
+	g.AddEdge(0, 3)
+	s := NewState(g, rng.New(15))
+	// Merge 1,2 into one G' component so only one represents the class.
+	s.AddHealingEdge(1, 2)
+	s.PropagateMinID([]int{1, 2})
+	s.DeleteAndHeal(0, DASH{})
+	if s.Delta(1) < 0 == (s.Delta(2) < 0) {
+		t.Errorf("exactly one of the merged pair should have lost degree: δ(1)=%d δ(2)=%d",
+			s.Delta(1), s.Delta(2))
+	}
+}

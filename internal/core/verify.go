@@ -1,0 +1,50 @@
+package core
+
+import "fmt"
+
+// Verify checks every structural invariant the paper's analysis relies
+// on and returns a descriptive error on the first violation:
+//
+//   - G′ ⊆ G (healing edges are real edges);
+//   - G′ is a forest (Lemma 1) — skip with allowGpCycles for strategies
+//     like GraphHeal that deliberately break it;
+//   - current IDs are an exact G′ component labeling: uniform within a
+//     component, unique across components, never above a member's own
+//     initial ID;
+//   - weight is conserved: live weight plus dropped weight equals the
+//     initial population plus joins (Lemma 5 bookkeeping).
+//
+// It is O(n + m); the experiment engine can run it after every round.
+func (s *State) Verify(allowGpCycles bool) error {
+	if !s.Gp.IsSubgraphOf(s.G) {
+		return fmt.Errorf("core: G' is not a subgraph of G")
+	}
+	if !allowGpCycles && !s.Gp.IsForest() {
+		return fmt.Errorf("core: G' is not a forest (Lemma 1)")
+	}
+	labels := s.Gp.ComponentLabels()
+	byComp := make(map[int]uint64)
+	owner := make(map[uint64]int)
+	for _, v := range s.Gp.AliveNodes() {
+		comp := labels[v]
+		id := s.curID[v]
+		if want, ok := byComp[comp]; ok {
+			if want != id {
+				return fmt.Errorf("core: component %d has labels %d and %d", comp, want, id)
+			}
+		} else {
+			if prev, clash := owner[id]; clash {
+				return fmt.Errorf("core: components %d and %d share label %d", prev, comp, id)
+			}
+			byComp[comp] = id
+			owner[id] = comp
+		}
+		if id > s.initID[v] {
+			return fmt.Errorf("core: node %d label %d above its initial ID %d", v, id, s.initID[v])
+		}
+	}
+	if want := int64(s.initialAlive + s.joined); s.TotalWeight() != want {
+		return fmt.Errorf("core: total weight %d, want %d", s.TotalWeight(), want)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestVerifyCleanRun(t *testing.T) {
+	s := NewState(gen.BarabasiAlbert(40, 3, rng.New(1)), rng.New(2))
+	for s.G.NumAlive() > 0 {
+		s.DeleteAndHeal(s.G.MaxDegreeNode(), DASH{})
+		if err := s.Verify(false); err != nil {
+			t.Fatalf("clean DASH run failed verification: %v", err)
+		}
+	}
+}
+
+func TestVerifyWithChurn(t *testing.T) {
+	s := NewState(gen.Line(10), rng.New(3))
+	r := rng.New(4)
+	for i := 0; i < 20; i++ {
+		alive := s.G.AliveNodes()
+		if len(alive) == 0 {
+			break
+		}
+		if i%3 == 0 {
+			s.Join([]int{alive[0]}, r)
+		} else {
+			s.DeleteAndHeal(alive[r.Intn(len(alive))], SDASH{})
+		}
+		if err := s.Verify(false); err != nil {
+			t.Fatalf("churn step %d: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyDetectsForestViolation(t *testing.T) {
+	s := NewState(gen.Complete(4), rng.New(5))
+	// Manufacture a G' cycle.
+	s.AddHealingEdge(0, 1)
+	s.AddHealingEdge(1, 2)
+	s.AddHealingEdge(2, 0)
+	s.PropagateMinID([]int{0, 1, 2})
+	err := s.Verify(false)
+	if err == nil || !strings.Contains(err.Error(), "forest") {
+		t.Fatalf("expected forest violation, got %v", err)
+	}
+	if err := s.Verify(true); err != nil {
+		t.Fatalf("allowGpCycles should tolerate the cycle: %v", err)
+	}
+}
+
+func TestVerifyDetectsLabelViolation(t *testing.T) {
+	s := NewState(gen.Complete(4), rng.New(6))
+	// Merge components without flooding the label: stale labels remain.
+	s.AddHealingEdge(0, 1)
+	err := s.Verify(false)
+	if err == nil || !strings.Contains(err.Error(), "label") {
+		t.Fatalf("expected label violation, got %v", err)
+	}
+}
+
+func TestVerifyDetectsWeightViolation(t *testing.T) {
+	s := NewState(gen.Line(3), rng.New(7))
+	s.weight[0] += 5
+	err := s.Verify(false)
+	if err == nil || !strings.Contains(err.Error(), "weight") {
+		t.Fatalf("expected weight violation, got %v", err)
+	}
+}
+
+func TestVerifySubgraphViolation(t *testing.T) {
+	s := NewState(gen.Line(3), rng.New(8))
+	s.Gp.AddEdge(0, 2) // healing edge not present in G
+	err := s.Verify(false)
+	if err == nil || !strings.Contains(err.Error(), "subgraph") {
+		t.Fatalf("expected subgraph violation, got %v", err)
+	}
+}

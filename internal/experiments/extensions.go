@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// This file holds the extension experiments beyond the paper's own
+// figures: the topology-independence claim, the open-problem ablation on
+// ID propagation, the churn workload, and the cut-vertex stress test.
+
+// Topologies demonstrates §1's claim that DASH works "irrespective of the
+// topology of the initial network": the same attack on six different
+// families, reporting peak δ against the 2·log₂ n guarantee.
+func Topologies(n, trials int, seed uint64) *stats.Table {
+	if n < 16 {
+		n = 16
+	}
+	families := []struct {
+		name string
+		mk   func(r *rng.RNG) *graph.Graph
+	}{
+		{"BA", func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, BAEdges, r) }},
+		{"tree", func(r *rng.RNG) *graph.Graph { return gen.RandomRecursiveTree(n, r) }},
+		{"ring", func(*rng.RNG) *graph.Graph { return gen.Ring(n) }},
+		{"small-world", func(r *rng.RNG) *graph.Graph { return gen.WattsStrogatz(n, 4, 0.2, r) }},
+		{"4-regular", func(r *rng.RNG) *graph.Graph { return gen.RandomRegular(evenize(n), 4, r) }},
+		{"hypercube", func(*rng.RNG) *graph.Graph { return gen.Hypercube(log2floor(n)) }},
+	}
+	t := &stats.Table{
+		Title:  "Topology independence: DASH peak δ under NeighborOfMax, across initial topologies",
+		Header: []string{"topology", "n", "peak δ", "2*log2(n)", "always connected"},
+	}
+	for fi, f := range families {
+		cfg := sim.Config{
+			NewGraph:          f.mk,
+			NewAttack:         func() attack.Strategy { return attack.NeighborOfMax{} },
+			Healer:            core.DASH{},
+			Trials:            trials,
+			Seed:              seed + uint64(fi)*101,
+			TrackConnectivity: true,
+		}
+		res := sim.Run(cfg)
+		connected := true
+		actualN := res.Trials[0].N
+		for _, tr := range res.Trials {
+			connected = connected && tr.AlwaysConnected
+		}
+		t.AddRow(f.name, actualN, res.PeakMaxDelta.Mean,
+			2*math.Log2(float64(actualN)), connected)
+	}
+	return t
+}
+
+func evenize(n int) int {
+	if n%2 == 1 {
+		return n + 1
+	}
+	return n
+}
+
+func log2floor(n int) int {
+	d := 0
+	for (1 << (d + 1)) <= n {
+		d++
+	}
+	return d
+}
+
+// OracleAblation answers the paper's open problem ("can we remove the
+// need for propagating IDs?") with numbers: OracleDASH heals identically
+// to DASH but replaces the MINID flood with a component oracle. The
+// difference column is exactly the price DASH pays, in messages, for
+// staying local.
+func OracleAblation(sizes []int, trials int, seed uint64) *stats.Table {
+	t := &stats.Table{
+		Title: "Open problem ablation: component IDs vs oracle (NeighborOfMax attack)",
+		Header: []string{"n", "DASH peak δ", "Oracle peak δ",
+			"DASH max msgs", "Oracle max msgs"},
+	}
+	for ni, n := range sizes {
+		run := func(h core.Healer) sim.Result {
+			return sim.Run(sim.Config{
+				NewGraph:  BAGraph(n),
+				NewAttack: func() attack.Strategy { return attack.NeighborOfMax{} },
+				Healer:    h,
+				Trials:    trials,
+				Seed:      seed + uint64(ni)*17,
+			})
+		}
+		d := run(core.DASH{})
+		o := run(core.OracleDASH{})
+		t.AddRow(n, d.PeakMaxDelta.Mean, o.PeakMaxDelta.Mean,
+			d.MaxMessages.Mean, o.MaxMessages.Mean)
+	}
+	return t
+}
+
+// Churn interleaves joins with adversarial deletions (one join every
+// 0, 4, or 2 steps) and verifies DASH's guarantees hold on a network
+// that never stops changing.
+func Churn(n, steps, trials int, seed uint64) *stats.Table {
+	t := &stats.Table{
+		Title:  "Churn: joins interleaved with NeighborOfMax deletions, DASH healing",
+		Header: []string{"join every", "steps", "peak δ", "always connected", "final alive"},
+	}
+	for _, je := range []int{0, 4, 2} {
+		peaks := make([]float64, 0, trials)
+		finals := make([]float64, 0, trials)
+		connected := true
+		master := rng.New(seed + uint64(je))
+		for trial := 0; trial < trials; trial++ {
+			tr := master.Split()
+			s := core.NewState(gen.BarabasiAlbert(n, BAEdges, tr.Split()), tr.Split())
+			attackR := tr.Split()
+			joinR := tr.Split()
+			att := attack.NeighborOfMax{}
+			peak := 0
+			for step := 1; step <= steps; step++ {
+				alive := s.G.AliveNodes()
+				if len(alive) == 0 {
+					break
+				}
+				if je > 0 && step%je == 0 {
+					k := min(3, len(alive))
+					attach := make([]int, 0, k)
+					for _, i := range joinR.Perm(len(alive))[:k] {
+						attach = append(attach, alive[i])
+					}
+					s.Join(attach, joinR)
+				} else {
+					v := att.Next(s, attackR)
+					if v == attack.NoTarget {
+						break
+					}
+					s.DeleteAndHeal(v, core.DASH{})
+				}
+				if d := s.MaxDelta(); d > peak {
+					peak = d
+				}
+				if !s.G.Connected() {
+					connected = false
+				}
+			}
+			peaks = append(peaks, float64(peak))
+			finals = append(finals, float64(s.G.NumAlive()))
+		}
+		t.AddRow(je, steps, stats.Mean(peaks), connected, stats.Mean(finals))
+	}
+	return t
+}
+
+// Latency regenerates the Lemma 9 claim: the amortized MINID-propagation
+// latency (wave depth per round) over a delete-everything run is
+// O(log n) w.h.p., even though a single wave can be much deeper.
+func Latency(sizes []int, trials int, seed uint64) *stats.Table {
+	t := &stats.Table{
+		Title:  "Lemma 9: amortized ID-propagation latency (wave depth per round), DASH",
+		Header: []string{"n", "amortized depth", "worst wave", "log2(n)"},
+	}
+	for ni, n := range sizes {
+		amortized := make([]float64, 0, trials)
+		worst := 0.0
+		master := rng.New(seed + uint64(ni)*7)
+		for trial := 0; trial < trials; trial++ {
+			tr := master.Split()
+			s := core.NewState(gen.BarabasiAlbert(n, BAEdges, tr.Split()), tr.Split())
+			att := attack.NeighborOfMax{}
+			attR := tr.Split()
+			for s.G.NumAlive() > 0 {
+				s.DeleteAndHeal(att.Next(s, attR), core.DASH{})
+			}
+			amortized = append(amortized, s.AmortizedFloodDepth())
+			if d := float64(s.MaxFloodDepth()); d > worst {
+				worst = d
+			}
+		}
+		t.AddRow(n, stats.Mean(amortized), worst, math.Log2(float64(n)))
+	}
+	return t
+}
+
+// CutVertexStress compares healers under the articulation-point
+// adversary, where every deletion is a guaranteed partition of the
+// unhealed graph.
+func CutVertexStress(sizes []int, trials int, seed uint64) *stats.Table {
+	healers := []core.Healer{core.DASH{}, core.SDASH{}}
+	t := &stats.Table{
+		Title:  "CutVertex adversary: articulation points first (random trees)",
+		Header: []string{"n"},
+	}
+	for _, h := range healers {
+		t.Header = append(t.Header, h.Name()+" peak δ")
+	}
+	t.Header = append(t.Header, "2*log2(n)")
+	for ni, n := range sizes {
+		row := []any{n}
+		for hi, h := range healers {
+			n := n
+			res := sim.Run(sim.Config{
+				NewGraph:          func(r *rng.RNG) *graph.Graph { return gen.RandomRecursiveTree(n, r) },
+				NewAttack:         func() attack.Strategy { return attack.CutVertex{} },
+				Healer:            h,
+				Trials:            trials,
+				Seed:              seed + uint64(ni)*13 + uint64(hi),
+				TrackConnectivity: true,
+			})
+			cell := res.PeakMaxDelta.Mean
+			for _, trial := range res.Trials {
+				if !trial.AlwaysConnected {
+					cell = math.Inf(1) // disconnection dwarfs any δ reading
+				}
+			}
+			row = append(row, cell)
+		}
+		row = append(row, 2*math.Log2(float64(n)))
+		t.AddRow(row...)
+	}
+	return t
+}

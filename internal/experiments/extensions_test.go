@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopologiesShape(t *testing.T) {
+	tab := Topologies(64, 3, 11)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 topology families", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		peak := cell(t, tab.Rows, i, 2)
+		bound := cell(t, tab.Rows, i, 3)
+		if peak > bound {
+			t.Errorf("topology %s: peak δ %.1f above bound %.1f", row[0], peak, bound)
+		}
+		if row[4] != "true" {
+			t.Errorf("topology %s lost connectivity", row[0])
+		}
+	}
+}
+
+func TestOracleAblationShape(t *testing.T) {
+	tab := OracleAblation([]int{48, 96}, 3, 12)
+	for i := range tab.Rows {
+		dashDelta := cell(t, tab.Rows, i, 1)
+		oracleDelta := cell(t, tab.Rows, i, 2)
+		if dashDelta != oracleDelta {
+			t.Errorf("row %d: oracle heals differently (δ %.2f vs %.2f)", i, dashDelta, oracleDelta)
+		}
+		dashMsgs := cell(t, tab.Rows, i, 3)
+		oracleMsgs := cell(t, tab.Rows, i, 4)
+		if oracleMsgs != 0 {
+			t.Errorf("row %d: oracle sent %v messages, want 0", i, oracleMsgs)
+		}
+		if dashMsgs <= 0 {
+			t.Errorf("row %d: DASH sent no messages?", i)
+		}
+	}
+}
+
+func TestChurnShape(t *testing.T) {
+	tab := Churn(48, 60, 2, 13)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 churn regimes", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[3] != "true" {
+			t.Errorf("churn regime %v lost connectivity", row[0])
+		}
+		if peak := cell(t, tab.Rows, i, 2); peak > 2*math.Log2(48*2) {
+			t.Errorf("churn regime %v: peak δ %.1f suspiciously high", row[0], peak)
+		}
+	}
+	// More churn (join every 2) leaves more nodes alive than no churn.
+	none := cell(t, tab.Rows, 0, 4)
+	heavy := cell(t, tab.Rows, 2, 4)
+	if heavy <= none {
+		t.Errorf("heavy churn should leave more survivors: %v vs %v", heavy, none)
+	}
+}
+
+func TestLatencyShape(t *testing.T) {
+	tab := Latency([]int{48, 96}, 3, 15)
+	for i := range tab.Rows {
+		amortized := cell(t, tab.Rows, i, 1)
+		logn := cell(t, tab.Rows, i, 3)
+		if amortized > 2*logn {
+			t.Errorf("row %d: amortized depth %.2f above 2·log2(n)=%.2f (Lemma 9)",
+				i, amortized, 2*logn)
+		}
+		if amortized < 0 {
+			t.Errorf("row %d: negative depth", i)
+		}
+	}
+}
+
+func TestCutVertexStressShape(t *testing.T) {
+	tab := CutVertexStress([]int{48, 96}, 3, 14)
+	for i := range tab.Rows {
+		for col := 1; col <= 2; col++ {
+			v := cell(t, tab.Rows, i, col)
+			if math.IsInf(v, 1) {
+				t.Errorf("row %d col %d: healer lost connectivity", i, col)
+			}
+			if v > cell(t, tab.Rows, i, 3) {
+				t.Errorf("row %d col %d: δ %.1f above bound", i, col, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// This file adds the standard overlay topologies beyond the paper's own
+// workloads. DASH's guarantees are topology-independent ("irrespective of
+// the topology of the initial network", §1), and the topology-robustness
+// experiment sweeps these families to demonstrate it.
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// node connects to its k/2 nearest neighbors on each side, with each
+// lattice edge rewired to a uniform random endpoint with probability
+// beta. k must be even, 2 <= k < n. Self-loops and duplicate edges are
+// re-drawn; the graph may in principle disconnect for large beta, as in
+// the original model.
+func WattsStrogatz(n, k int, beta float64, r *rng.RNG) *graph.Graph {
+	if n < 4 || k < 2 || k%2 != 0 || k >= n {
+		panic(fmt.Sprintf("gen: invalid WattsStrogatz(n=%d, k=%d)", n, k))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("gen: invalid WattsStrogatz beta=%v", beta))
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			g.AddEdge(v, (v+j)%n)
+		}
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			if r.Float64() >= beta {
+				continue
+			}
+			u := (v + j) % n
+			if !g.HasEdge(v, u) {
+				continue // already rewired away by an earlier step
+			}
+			// Rewire (v,u) to (v,w) for a uniform random w.
+			w := r.Intn(n)
+			for attempts := 0; (w == v || g.HasEdge(v, w)) && attempts < 4*n; attempts++ {
+				w = r.Intn(n)
+			}
+			if w == v || g.HasEdge(v, w) {
+				continue // saturated neighborhood; keep the lattice edge
+			}
+			g.RemoveEdge(v, u)
+			g.AddEdge(v, w)
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a d-regular graph on n nodes via the pairing
+// (configuration) model with restarts: n*d must be even and d < n. The
+// sampler retries until it finds a simple matching, which for modest d
+// succeeds quickly with overwhelming probability.
+func RandomRegular(n, d int, r *rng.RNG) *graph.Graph {
+	if n <= 0 || d < 0 || d >= n || (n*d)%2 != 0 {
+		panic(fmt.Sprintf("gen: invalid RandomRegular(n=%d, d=%d)", n, d))
+	}
+	if d == 0 {
+		return graph.New(n)
+	}
+	stubs := make([]int, 0, n*d)
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			panic("gen: RandomRegular failed to converge (d too close to n?)")
+		}
+		g := graph.New(n)
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.AddEdge(u, v)
+		}
+		if ok {
+			return g
+		}
+	}
+}
+
+// Hypercube returns the d-dimensional binary hypercube on 2^d nodes:
+// nodes are bit strings, edges join strings at Hamming distance one.
+func Hypercube(d int) *graph.Graph {
+	if d < 0 || d > 24 {
+		panic(fmt.Sprintf("gen: invalid Hypercube dimension %d", d))
+	}
+	n := 1 << d
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}

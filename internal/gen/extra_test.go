@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta=0 keeps the pure ring lattice: everyone has degree k.
+	g := WattsStrogatz(20, 4, 0, rng.New(1))
+	if g.NumEdges() != 20*4/2 {
+		t.Fatalf("edges = %d, want 40", g.NumEdges())
+	}
+	for v := 0; v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("node %d degree = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if !g.Connected() {
+		t.Error("lattice must be connected")
+	}
+	// Lattice diameter is about n/k; rewiring must shrink it.
+	lat := g.Diameter()
+	sw := WattsStrogatz(20, 4, 0.5, rng.New(2))
+	if sw.Diameter() > lat {
+		t.Errorf("rewiring did not shrink diameter: %d -> %d", lat, sw.Diameter())
+	}
+}
+
+func TestWattsStrogatzEdgeCountPreserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(40)
+		g := WattsStrogatz(n, 4, 0.3, r)
+		return g.NumEdges() == n*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	for _, c := range []struct {
+		n, k int
+		beta float64
+	}{{3, 2, 0}, {10, 3, 0}, {10, 10, 0}, {10, 2, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WattsStrogatz(%d,%d,%v) did not panic", c.n, c.k, c.beta)
+				}
+			}()
+			WattsStrogatz(c.n, c.k, c.beta, rng.New(1))
+		}()
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g := RandomRegular(30, 4, rng.New(3))
+	for v := 0; v < 30; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("node %d degree = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if z := RandomRegular(5, 0, rng.New(4)); z.NumEdges() != 0 {
+		t.Error("0-regular graph should be empty")
+	}
+}
+
+func TestRandomRegularProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 6 + 2*r.Intn(20)
+		d := 3
+		g := RandomRegular(n, d, r)
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomRegularPanicsOnOddProduct(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n*d should panic")
+		}
+	}()
+	RandomRegular(5, 3, rng.New(1))
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 {
+		t.Fatalf("N = %d, want 16", g.N())
+	}
+	for v := 0; v < 16; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("node %d degree = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter = %d, want 4", g.Diameter())
+	}
+	if !g.Connected() {
+		t.Error("hypercube must be connected")
+	}
+	if g := Hypercube(0); g.N() != 1 {
+		t.Error("0-cube is a single node")
+	}
+}

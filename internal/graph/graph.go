@@ -1,0 +1,377 @@
+// Package graph implements the dynamic undirected graph substrate used by
+// the self-healing simulations.
+//
+// Nodes are dense integers 0..N-1 allocated at construction time. Deleting
+// a node marks it dead and removes its incident edges; the index is never
+// reused, which matches the paper's model (the adversary deletes nodes,
+// nothing is ever re-inserted) and keeps per-node bookkeeping (initial
+// degree, IDs, δ) stable across a run.
+//
+// All accessors that return node collections return them in sorted order so
+// that no map-iteration nondeterminism ever leaks into simulation behavior.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a dynamic undirected graph over nodes 0..N-1.
+type Graph struct {
+	adj   []map[int]struct{}
+	alive []bool
+	nAliv int
+	nEdge int
+}
+
+// New returns a graph with n alive, isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative size")
+	}
+	g := &Graph{
+		adj:   make([]map[int]struct{}, n),
+		alive: make([]bool, n),
+		nAliv: n,
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+		g.alive[i] = true
+	}
+	return g
+}
+
+// N returns the total number of node slots ever allocated (alive or dead).
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddNode appends a fresh, alive, isolated node and returns its index.
+// Supports churn workloads where the network grows during an attack.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, make(map[int]struct{}))
+	g.alive = append(g.alive, true)
+	g.nAliv++
+	return len(g.adj) - 1
+}
+
+// NumAlive returns the number of alive nodes.
+func (g *Graph) NumAlive() int { return g.nAliv }
+
+// NumEdges returns the number of edges between alive nodes.
+func (g *Graph) NumEdges() int { return g.nEdge }
+
+// Alive reports whether v is a live node.
+func (g *Graph) Alive(v int) bool {
+	return v >= 0 && v < len(g.adj) && g.alive[v]
+}
+
+// checkAlive panics unless v is alive; internal guard for mutating ops.
+func (g *Graph) checkAlive(v int) {
+	if !g.Alive(v) {
+		panic(fmt.Sprintf("graph: node %d is not alive", v))
+	}
+}
+
+// AddEdge inserts the undirected edge (u,v) and reports whether it was
+// newly added (false if it already existed). It panics on self-loops or
+// dead endpoints: both indicate simulation bugs we want to fail loudly on.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.checkAlive(u)
+	g.checkAlive(v)
+	if _, ok := g.adj[u][v]; ok {
+		return false
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.nEdge++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u,v) and reports whether it
+// existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return false
+	}
+	if _, ok := g.adj[u][v]; !ok {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.nEdge--
+	return true
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// RemoveNode kills v, removing all its incident edges. It panics if v is
+// already dead.
+func (g *Graph) RemoveNode(v int) {
+	g.checkAlive(v)
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+		g.nEdge--
+	}
+	g.adj[v] = make(map[int]struct{})
+	g.alive[v] = false
+	g.nAliv--
+}
+
+// Degree returns the degree of v (0 for dead or out-of-range nodes).
+func (g *Graph) Degree(v int) int {
+	if v < 0 || v >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbors of v. The slice is freshly
+// allocated; callers may keep or mutate it.
+func (g *Graph) Neighbors(v int) []int {
+	if v < 0 || v >= len(g.adj) {
+		return nil
+	}
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AliveNodes returns the sorted list of alive nodes.
+func (g *Graph) AliveNodes() []int {
+	out := make([]int, 0, g.nAliv)
+	for v, ok := range g.alive {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Edges returns all edges (u < v) in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.nEdge)
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:   make([]map[int]struct{}, len(g.adj)),
+		alive: append([]bool(nil), g.alive...),
+		nAliv: g.nAliv,
+		nEdge: g.nEdge,
+	}
+	for v, nbrs := range g.adj {
+		c.adj[v] = make(map[int]struct{}, len(nbrs))
+		for u := range nbrs {
+			c.adj[v][u] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical alive sets and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.nAliv != h.nAliv || g.nEdge != h.nEdge {
+		return false
+	}
+	for v := range g.adj {
+		if g.alive[v] != h.alive[v] || len(g.adj[v]) != len(h.adj[v]) {
+			return false
+		}
+		for u := range g.adj[v] {
+			if _, ok := h.adj[v][u]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BFS returns the hop distance from src to every node reachable through
+// alive nodes; unreachable (and dead) nodes get -1.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !g.Alive(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := range g.adj[v] {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// ComponentLabels assigns each alive node a component label (the smallest
+// node index in its component); dead nodes get -1.
+func (g *Graph) ComponentLabels() []int {
+	label := make([]int, len(g.adj))
+	for i := range label {
+		label[i] = -1
+	}
+	for v := range g.adj {
+		if !g.alive[v] || label[v] != -1 {
+			continue
+		}
+		label[v] = v
+		queue := []int{v}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for u := range g.adj[x] {
+				if label[u] == -1 {
+					label[u] = v
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return label
+}
+
+// NumComponents returns the number of connected components among alive
+// nodes (0 for an empty graph).
+func (g *Graph) NumComponents() int {
+	labels := g.ComponentLabels()
+	n := 0
+	for v, l := range labels {
+		if l == v && g.alive[v] {
+			n++
+		}
+	}
+	return n
+}
+
+// Connected reports whether the alive part of the graph is connected.
+// Graphs with zero or one alive node are connected.
+func (g *Graph) Connected() bool {
+	return g.NumComponents() <= 1
+}
+
+// IsForest reports whether the alive part of g is acyclic.
+// A graph is a forest iff edges = aliveNodes - components.
+func (g *Graph) IsForest() bool {
+	return g.nEdge == g.nAliv-g.NumComponents()
+}
+
+// IsSubgraphOf reports whether every alive node and edge of g also exists
+// in h. Used to verify the invariant E' ⊆ E.
+func (g *Graph) IsSubgraphOf(h *Graph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	for v := range g.adj {
+		if !g.alive[v] {
+			continue
+		}
+		if !h.Alive(v) {
+			return false
+		}
+		for u := range g.adj[v] {
+			if !h.HasEdge(v, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxDegreeNode returns the alive node with the largest degree, breaking
+// ties by the smallest index. It returns -1 for an empty graph.
+func (g *Graph) MaxDegreeNode() int {
+	best, bestDeg := -1, -1
+	for v := range g.adj {
+		if !g.alive[v] {
+			continue
+		}
+		if d := len(g.adj[v]); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+// MaxDegree returns the largest degree among alive nodes (0 if empty).
+func (g *Graph) MaxDegree() int {
+	v := g.MaxDegreeNode()
+	if v < 0 {
+		return 0
+	}
+	return g.Degree(v)
+}
+
+// AllDistances computes all-pairs shortest-path distances between alive
+// nodes by running a BFS from every alive node. Entry [u][v] is -1 when u
+// or v is dead or unreachable. The result is O(n²) int32s; callers are
+// expected to bound n.
+func (g *Graph) AllDistances() [][]int32 {
+	n := len(g.adj)
+	out := make([][]int32, n)
+	for v := range out {
+		row := make([]int32, n)
+		for i := range row {
+			row[i] = -1
+		}
+		out[v] = row
+		if !g.alive[v] {
+			continue
+		}
+		for u, d := range g.BFS(v) {
+			out[v][u] = int32(d)
+		}
+	}
+	return out
+}
+
+// Diameter returns the largest finite pairwise distance among alive nodes
+// (0 for empty or singleton graphs). Disconnected pairs are ignored.
+func (g *Graph) Diameter() int {
+	maxD := 0
+	for v := range g.adj {
+		if !g.alive[v] {
+			continue
+		}
+		for _, d := range g.BFS(v) {
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}

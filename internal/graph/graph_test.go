@@ -1,0 +1,405 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func path(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.NumAlive() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph malformed")
+	}
+	if !g.Connected() {
+		t.Error("empty graph should count as connected")
+	}
+	if !g.IsForest() {
+		t.Error("empty graph should be a forest")
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	if !g.AddEdge(0, 1) {
+		t.Error("first AddEdge should report true")
+	}
+	if g.AddEdge(1, 0) {
+		t.Error("duplicate AddEdge should report false")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge should be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestAddEdgeDeadPanics(t *testing.T) {
+	g := New(3)
+	g.RemoveNode(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge to dead node did not panic")
+		}
+	}()
+	g.AddEdge(0, 1)
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if !g.RemoveEdge(1, 0) {
+		t.Error("RemoveEdge of existing edge should report true")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge of missing edge should report false")
+	}
+	if g.NumEdges() != 0 || g.HasEdge(0, 1) {
+		t.Error("edge not removed")
+	}
+	if g.RemoveEdge(-1, 5) {
+		t.Error("out of range RemoveEdge should report false")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.RemoveNode(1)
+	if g.Alive(1) {
+		t.Error("node still alive")
+	}
+	if g.NumAlive() != 3 {
+		t.Errorf("NumAlive = %d, want 3", g.NumAlive())
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	for _, v := range []int{0, 2, 3} {
+		if g.Degree(v) != 0 {
+			t.Errorf("node %d still has degree %d", v, g.Degree(v))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double RemoveNode did not panic")
+		}
+	}()
+	g.RemoveNode(1)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	got := g.Neighbors(2)
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", got, want)
+		}
+	}
+	if g.Neighbors(-1) != nil {
+		t.Error("out-of-range Neighbors should be nil")
+	}
+}
+
+func TestAliveNodesAndEdges(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.RemoveNode(3)
+	alive := g.AliveNodes()
+	if len(alive) != 3 || alive[0] != 0 || alive[1] != 1 || alive[2] != 2 {
+		t.Errorf("AliveNodes = %v", alive)
+	}
+	edges := g.Edges()
+	if len(edges) != 1 || edges[0] != [2]int{0, 1} {
+		t.Errorf("Edges = %v", edges)
+	}
+}
+
+func TestBFSAndConnectivity(t *testing.T) {
+	g := path(t, 5)
+	d := g.BFS(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], i)
+		}
+	}
+	if !g.Connected() {
+		t.Error("path should be connected")
+	}
+	g.RemoveNode(2)
+	if g.Connected() {
+		t.Error("split path should be disconnected")
+	}
+	if g.NumComponents() != 2 {
+		t.Errorf("NumComponents = %d, want 2", g.NumComponents())
+	}
+	d = g.BFS(0)
+	if d[3] != -1 || d[2] != -1 {
+		t.Errorf("unreachable distances should be -1, got %v", d)
+	}
+}
+
+func TestBFSFromDeadNode(t *testing.T) {
+	g := New(3)
+	g.RemoveNode(0)
+	d := g.BFS(0)
+	for _, v := range d {
+		if v != -1 {
+			t.Fatal("BFS from dead node should be all -1")
+		}
+	}
+}
+
+func TestComponentLabels(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.RemoveNode(5)
+	labels := g.ComponentLabels()
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("component {0,1,2} labels differ")
+	}
+	if labels[3] != labels[4] {
+		t.Error("component {3,4} labels differ")
+	}
+	if labels[0] == labels[3] {
+		t.Error("distinct components share a label")
+	}
+	if labels[5] != -1 {
+		t.Error("dead node should be labeled -1")
+	}
+}
+
+func TestIsForest(t *testing.T) {
+	g := path(t, 4)
+	if !g.IsForest() {
+		t.Error("path is a forest")
+	}
+	g.AddEdge(0, 3)
+	if g.IsForest() {
+		t.Error("cycle is not a forest")
+	}
+	g.RemoveEdge(0, 3)
+	g.RemoveEdge(1, 2)
+	if !g.IsForest() {
+		t.Error("two disjoint paths form a forest")
+	}
+}
+
+func TestIsSubgraphOf(t *testing.T) {
+	g := path(t, 4)
+	sub := New(4)
+	sub.AddEdge(1, 2)
+	if !sub.IsSubgraphOf(g) {
+		t.Error("sub should be a subgraph")
+	}
+	sub.AddEdge(0, 2)
+	if sub.IsSubgraphOf(g) {
+		t.Error("extra edge should break subgraph relation")
+	}
+	if sub.IsSubgraphOf(New(3)) {
+		t.Error("different sizes can never be subgraphs")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := path(t, 5)
+	g.RemoveNode(4)
+	c := g.Clone()
+	if !g.Equal(c) || !c.Equal(g) {
+		t.Fatal("clone not equal")
+	}
+	c.AddEdge(0, 2)
+	if g.Equal(c) {
+		t.Fatal("mutating clone affected equality")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 4)
+	if v := g.MaxDegreeNode(); v != 1 {
+		t.Errorf("MaxDegreeNode = %d, want 1", v)
+	}
+	if d := g.MaxDegree(); d != 3 {
+		t.Errorf("MaxDegree = %d, want 3", d)
+	}
+	if New(0).MaxDegreeNode() != -1 {
+		t.Error("empty graph MaxDegreeNode should be -1")
+	}
+	// Tie broken by lowest index.
+	h := New(4)
+	h.AddEdge(2, 3)
+	h.AddEdge(0, 1)
+	if v := h.MaxDegreeNode(); v != 0 {
+		t.Errorf("tie break MaxDegreeNode = %d, want 0", v)
+	}
+}
+
+func TestAllDistancesAndDiameter(t *testing.T) {
+	g := path(t, 4)
+	d := g.AllDistances()
+	if d[0][3] != 3 || d[3][0] != 3 || d[1][2] != 1 || d[2][2] != 0 {
+		t.Errorf("AllDistances wrong: %v", d)
+	}
+	if g.Diameter() != 3 {
+		t.Errorf("Diameter = %d, want 3", g.Diameter())
+	}
+	g.RemoveNode(1)
+	d = g.AllDistances()
+	if d[0][2] != -1 {
+		t.Error("separated pair should be -1")
+	}
+	if d[1][1] != -1 {
+		t.Error("dead node distances should be -1")
+	}
+}
+
+// Property: for random graphs, edges = Σ degrees / 2 and the forest test
+// agrees with an independent cycle search via BFS tree edge counting.
+func TestInvariantPropertyRandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		// Kill a few nodes.
+		for i := 0; i < n/4; i++ {
+			v := r.Intn(n)
+			if g.Alive(v) {
+				g.RemoveNode(v)
+			}
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.NumEdges() {
+			return false
+		}
+		// Components via labels must match connectivity claims.
+		if g.Connected() != (g.NumComponents() <= 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a spanning tree built from BFS parents is always a forest and
+// a subgraph of its source graph.
+func TestBFSTreeIsForestProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(25)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, r.Intn(i)) // random recursive tree: connected
+		}
+		for i := 0; i < n/2; i++ { // extra chords
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		dist := g.BFS(0)
+		tree := New(n)
+		for v := 1; v < n; v++ {
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == dist[v]-1 {
+					tree.AddEdge(u, v)
+					break
+				}
+			}
+		}
+		return tree.IsForest() && tree.IsSubgraphOf(g) && tree.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	r := rng.New(1)
+	n := 1000
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BFS(i % n)
+	}
+}
+
+func BenchmarkRemoveNode(b *testing.B) {
+	r := rng.New(2)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := 200
+		g := New(n)
+		for j := 1; j < n; j++ {
+			g.AddEdge(j, r.Intn(j))
+		}
+		b.StartTimer()
+		for v := 0; v < n; v++ {
+			g.RemoveNode(v)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package graphio serializes graphs for external tooling: Graphviz DOT
+// (for visualizing healed topologies, with healing edges highlighted) and
+// a plain edge-list format (one "u v" pair per line) that round-trips, so
+// runs can be exported, archived and replayed.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// DOT renders g as an undirected Graphviz graph. Edges also present in
+// highlight (typically the healing forest G′) are drawn red and bold;
+// pass nil to skip highlighting. Dead nodes are omitted.
+func DOT(w io.Writer, name string, g, highlight *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %s {\n", sanitizeID(name))
+	fmt.Fprintf(bw, "  node [shape=circle fontsize=10];\n")
+	for _, v := range g.AliveNodes() {
+		fmt.Fprintf(bw, "  n%d;\n", v)
+	}
+	for _, e := range g.Edges() {
+		if highlight != nil && highlight.HasEdge(e[0], e[1]) {
+			fmt.Fprintf(bw, "  n%d -- n%d [color=red penwidth=2];\n", e[0], e[1])
+		} else {
+			fmt.Fprintf(bw, "  n%d -- n%d;\n", e[0], e[1])
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// sanitizeID makes name a valid DOT identifier.
+func sanitizeID(name string) string {
+	if name == "" {
+		return "g"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteEdgeList emits g as a header line "n <N>" followed by one "u v"
+// line per edge (u < v, sorted). Dead nodes are recorded as "dead <v>"
+// lines so the full alive/dead state round-trips.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d\n", g.N())
+	for v := 0; v < g.N(); v++ {
+		if !g.Alive(v) {
+			fmt.Fprintf(bw, "dead %d\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *graph.Graph
+	line := 0
+	var deferredDead []int
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "n":
+			if g != nil {
+				return nil, fmt.Errorf("graphio: line %d: duplicate header", line)
+			}
+			var n int
+			if _, err := fmt.Sscanf(text, "n %d", &n); err != nil || n < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad header %q", line, text)
+			}
+			g = graph.New(n)
+		case fields[0] == "dead":
+			var v int
+			if _, err := fmt.Sscanf(text, "dead %d", &v); err != nil {
+				return nil, fmt.Errorf("graphio: line %d: bad dead line %q", line, text)
+			}
+			deferredDead = append(deferredDead, v)
+		default:
+			if g == nil {
+				return nil, fmt.Errorf("graphio: line %d: edge before header", line)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+				return nil, fmt.Errorf("graphio: line %d: bad edge %q", line, text)
+			}
+			if u < 0 || v < 0 || u >= g.N() || v >= g.N() || u == v {
+				return nil, fmt.Errorf("graphio: line %d: edge %d-%d out of range", line, u, v)
+			}
+			g.AddEdge(u, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graphio: missing header")
+	}
+	for _, v := range deferredDead {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("graphio: dead node %d out of range", v)
+		}
+		if g.Alive(v) {
+			g.RemoveNode(v)
+		}
+	}
+	return g, nil
+}

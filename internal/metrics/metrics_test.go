@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestStretchIdentity(t *testing.T) {
+	g := gen.Ring(6)
+	st := NewStretch(g)
+	res := st.Measure(g)
+	if res.Max != 1 || res.Mean != 1 {
+		t.Errorf("unchanged graph stretch = %+v, want 1/1", res)
+	}
+	if res.Pairs != 15 || res.Disconnected != 0 {
+		t.Errorf("pairs = %d/%d, want 15/0", res.Pairs, res.Disconnected)
+	}
+}
+
+func TestStretchDetour(t *testing.T) {
+	// Ring of 6: deleting one node and healing with the "long way round"
+	// doubles some distances. Simulate by removing node 0 outright: pairs
+	// through 0 now take the long path.
+	g := gen.Ring(6)
+	st := NewStretch(g)
+	cur := g.Clone()
+	cur.RemoveNode(0)
+	res := st.Measure(cur)
+	// 1 and 5 were at distance 2 via node 0; now distance 4 around.
+	if res.Max != 2 {
+		t.Errorf("max stretch = %v, want 2", res.Max)
+	}
+	if res.Disconnected != 0 {
+		t.Error("ring minus one node stays connected")
+	}
+}
+
+func TestStretchDisconnection(t *testing.T) {
+	g := gen.Line(5)
+	st := NewStretch(g)
+	cur := g.Clone()
+	cur.RemoveNode(2)
+	res := st.Measure(cur)
+	if !math.IsInf(res.Max, 1) {
+		t.Errorf("max stretch = %v, want +Inf", res.Max)
+	}
+	if res.Disconnected != 4 {
+		t.Errorf("disconnected pairs = %d, want 4 ({0,1}×{3,4})", res.Disconnected)
+	}
+	// Mean is over still-connected pairs only.
+	if res.Mean != 1 {
+		t.Errorf("mean = %v, want 1 (surviving pairs unchanged)", res.Mean)
+	}
+}
+
+func TestStretchShortcutsCanShrink(t *testing.T) {
+	// Healing edges can shorten paths; Max stays >= 1 by definition but
+	// Mean can dip below 1.
+	g := gen.Line(4)
+	st := NewStretch(g)
+	cur := g.Clone()
+	cur.AddEdge(0, 3)
+	res := st.Measure(cur)
+	if res.Max != 1 {
+		t.Errorf("max = %v, want 1", res.Max)
+	}
+	if res.Mean >= 1 {
+		t.Errorf("mean = %v, want < 1 with a shortcut", res.Mean)
+	}
+}
+
+func TestStretchTinyGraphs(t *testing.T) {
+	g := graph.New(1)
+	res := NewStretch(g).Measure(g)
+	if res.Max != 1 || res.Mean != 1 || res.Pairs != 0 {
+		t.Errorf("singleton stretch = %+v", res)
+	}
+	empty := graph.New(0)
+	res = NewStretch(empty).Measure(empty)
+	if res.Max != 1 {
+		t.Errorf("empty stretch = %+v", res)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := gen.Star(5)
+	ds := Degrees(g)
+	if ds.Max != 4 {
+		t.Errorf("max degree = %d, want 4", ds.Max)
+	}
+	if want := 8.0 / 5.0; math.Abs(ds.Mean-want) > 1e-12 {
+		t.Errorf("mean degree = %v, want %v", ds.Mean, want)
+	}
+	if ds := Degrees(graph.New(0)); ds.Max != 0 || ds.Mean != 0 {
+		t.Error("empty degree stats should be zero")
+	}
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func baseConfig() Config {
+	return Config{
+		NewGraph:          func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(50, 2, r) },
+		NewAttack:         func() attack.Strategy { return attack.NeighborOfMax{} },
+		Healer:            core.DASH{},
+		Trials:            3,
+		Seed:              1,
+		TrackConnectivity: true,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res := Run(baseConfig())
+	if len(res.Trials) != 3 {
+		t.Fatalf("trials = %d, want 3", len(res.Trials))
+	}
+	for i, tr := range res.Trials {
+		if tr.N != 50 {
+			t.Errorf("trial %d N = %d, want 50", i, tr.N)
+		}
+		if tr.Rounds != 50 {
+			t.Errorf("trial %d rounds = %d, want 50 (delete all)", i, tr.Rounds)
+		}
+		if !tr.AlwaysConnected {
+			t.Errorf("trial %d lost connectivity under DASH", i)
+		}
+		if tr.PeakMaxDelta <= 0 {
+			t.Errorf("trial %d peak δ = %d, want > 0", i, tr.PeakMaxDelta)
+		}
+		if tr.MaxMessages <= 0 || tr.MaxIDChanges <= 0 {
+			t.Errorf("trial %d message accounting empty", i)
+		}
+	}
+	if res.HealerName != "DASH" || res.AttackName != "NeighborOfMax" {
+		t.Errorf("names = %q/%q", res.HealerName, res.AttackName)
+	}
+	if res.PeakMaxDelta.N != 3 {
+		t.Error("aggregation missing")
+	}
+	if !strings.Contains(res.String(), "DASH") {
+		t.Error("String() should mention the healer")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a := Run(baseConfig())
+	b := Run(baseConfig())
+	for i := range a.Trials {
+		if a.Trials[i] != b.Trials[i] {
+			t.Fatalf("trial %d diverged:\n%+v\n%+v", i, a.Trials[i], b.Trials[i])
+		}
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	a := Run(baseConfig())
+	cfg := baseConfig()
+	cfg.Seed = 2
+	b := Run(cfg)
+	same := 0
+	for i := range a.Trials {
+		if a.Trials[i] == b.Trials[i] {
+			same++
+		}
+	}
+	if same == len(a.Trials) {
+		t.Error("different seeds produced identical trials")
+	}
+}
+
+func TestDeleteFraction(t *testing.T) {
+	cfg := baseConfig()
+	cfg.DeleteFraction = 0.5
+	res := Run(cfg)
+	for _, tr := range res.Trials {
+		if tr.Rounds != 25 {
+			t.Errorf("rounds = %d, want 25 with fraction 0.5", tr.Rounds)
+		}
+	}
+}
+
+func TestStretchMeasurement(t *testing.T) {
+	cfg := baseConfig()
+	cfg.StretchEvery = 5
+	cfg.NewAttack = func() attack.Strategy { return attack.MaxDegree{} }
+	res := Run(cfg)
+	for _, tr := range res.Trials {
+		if tr.MaxStretch < 1 {
+			t.Errorf("stretch = %v, want >= 1", tr.MaxStretch)
+		}
+	}
+}
+
+func TestNoHealDisconnects(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Healer = baseline.NoHeal{}
+	res := Run(cfg)
+	for _, tr := range res.Trials {
+		if tr.AlwaysConnected {
+			t.Error("NoHeal under NMS should disconnect a BA graph")
+		}
+		if tr.EdgesAdded != 0 {
+			t.Error("NoHeal added edges")
+		}
+	}
+}
+
+func TestSurrogationCounting(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Healer = core.SDASH{}
+	res := Run(cfg)
+	total := 0
+	for _, tr := range res.Trials {
+		total += tr.Surrogations
+	}
+	if total == 0 {
+		t.Error("SDASH never surrogated across full BA runs; expected some")
+	}
+}
+
+func TestLevelAttackThroughSim(t *testing.T) {
+	tr := gen.CompleteKaryTree(4, 3) // M=2 construction
+	cfg := Config{
+		NewGraph:  func(*rng.RNG) *graph.Graph { return tr.G.Clone() },
+		NewAttack: func() attack.Strategy { return attack.NewLevelAttack(tr, 2) },
+		Healer:    baseline.LineHeal{},
+		Trials:    2,
+		Seed:      9,
+	}
+	res := Run(cfg)
+	for _, trial := range res.Trials {
+		if trial.PeakMaxDelta < 3 {
+			t.Errorf("LevelAttack peak δ = %d, want ≥ depth 3", trial.PeakMaxDelta)
+		}
+	}
+}
+
+func TestVerifyInvariantsFlag(t *testing.T) {
+	cfg := baseConfig()
+	cfg.VerifyInvariants = true
+	res := Run(cfg)
+	for i, tr := range res.Trials {
+		if tr.InvariantError != "" {
+			t.Errorf("trial %d: %s", i, tr.InvariantError)
+		}
+	}
+	// GraphHeal needs the cycle exemption and then also passes.
+	cfg.Healer = baseline.GraphHeal{}
+	cfg.GpCyclesOK = true
+	res = Run(cfg)
+	for i, tr := range res.Trials {
+		if tr.InvariantError != "" {
+			t.Errorf("GraphHeal trial %d: %s", i, tr.InvariantError)
+		}
+	}
+	// Without the exemption GraphHeal is caught.
+	cfg.GpCyclesOK = false
+	res = Run(cfg)
+	caught := false
+	for _, tr := range res.Trials {
+		if tr.InvariantError != "" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Error("GraphHeal should trip the forest invariant")
+	}
+}
+
+func TestRunPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing healer should panic")
+		}
+	}()
+	Run(Config{NewGraph: func(*rng.RNG) *graph.Graph { return graph.New(1) }})
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample std with n-1 denominator: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.Min != 3 || s.Max != 3 || s.Median != 3 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if !sort.Float64sAreSorted([]float64{xs[0]}) && xs[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 || MaxInt(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Max([]float64{1, 5, 3}) != 5 {
+		t.Error("Max wrong")
+	}
+	if MaxInt([]int{4, 2, 9, 1}) != 9 {
+		t.Error("MaxInt wrong")
+	}
+}
+
+func TestFloats(t *testing.T) {
+	got := Floats([]int{1, 2})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Floats = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"n", "value"}}
+	tb.AddRow(10, 3.14159)
+	tb.AddRow(100, 2.0)
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "3.142") {
+		t.Errorf("table rendering missing pieces:\n%s", s)
+	}
+	if !strings.Contains(s, "2\n") && !strings.Contains(s, "2 ") {
+		t.Errorf("integer-valued float should render without decimals:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "n,value\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Errorf("CSV should have 3 lines, got %d", lines)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(3.0) != "3" {
+		t.Errorf("FormatFloat(3.0) = %q", FormatFloat(3.0))
+	}
+	if FormatFloat(3.14159) != "3.142" {
+		t.Errorf("FormatFloat(3.14159) = %q", FormatFloat(3.14159))
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindRemove: "remove", KindEdge: "edge", KindAdopt: "adopt", KindJoin: "join",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind %d String = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should render its number")
+	}
+}
+
+// The headline property: replaying a recorded run reconstructs the live
+// topology and healing forest exactly, across healers and churn.
+func TestReplayReconstructsRun(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(40)
+		initial := gen.BarabasiAlbert(n, 2, rng.New(seed+1))
+		s := core.NewState(initial.Clone(), rng.New(seed+2))
+		rec := Attach(s)
+		joinR := rng.New(seed + 3)
+		healers := []core.Healer{core.DASH{}, core.SDASH{}, core.SDASHFull{}}
+		h := healers[r.Intn(len(healers))]
+		for step := 0; step < n; step++ {
+			alive := s.G.AliveNodes()
+			if len(alive) == 0 {
+				break
+			}
+			if r.Intn(4) == 0 {
+				s.Join([]int{alive[r.Intn(len(alive))]}, joinR)
+			} else {
+				s.DeleteAndHeal(alive[r.Intn(len(alive))], h)
+			}
+		}
+		g, gp, err := Replay(initial, rec.Events())
+		if err != nil {
+			return false
+		}
+		return g.Equal(s.G) && gp.Equal(s.Gp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := core.NewState(gen.Star(6), rng.New(1))
+	rec := Attach(s)
+	s.DeleteAndHeal(0, core.DASH{})
+	sum := rec.Summary()
+	if !strings.Contains(sum, "remove=1") {
+		t.Errorf("summary missing removal: %s", sum)
+	}
+	if !strings.Contains(sum, "edge=4") { // binary tree over 5 leaves
+		t.Errorf("summary edge count wrong: %s", sum)
+	}
+	if rec.Len() == 0 {
+		t.Error("no events recorded")
+	}
+}
+
+func TestReplayErrorPaths(t *testing.T) {
+	initial := gen.Line(3)
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"remove dead", []Event{{Kind: KindRemove, Node: 1}, {Kind: KindRemove, Node: 1}}},
+		{"edge to dead", []Event{{Kind: KindRemove, Node: 0}, {Kind: KindEdge, U: 0, V: 2, NewInG: true}}},
+		{"re-add edge", []Event{{Kind: KindEdge, U: 0, V: 1, NewInG: true}}},
+		{"phantom existing edge", []Event{{Kind: KindEdge, U: 0, V: 2, NewInG: false, InGp: true}}},
+		{"join to dead", []Event{{Kind: KindRemove, Node: 0}, {Kind: KindJoin, Node: 3, Attach: []int{0}}}},
+		{"join index mismatch", []Event{{Kind: KindJoin, Node: 7}}},
+		{"unknown kind", []Event{{Kind: Kind(42)}}},
+	}
+	for _, c := range cases {
+		if _, _, err := Replay(initial, c.events); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	initial := gen.Ring(4)
+	g, gp, err := Replay(initial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(initial) {
+		t.Error("empty trace should reproduce the initial graph")
+	}
+	if gp.NumEdges() != 0 {
+		t.Error("empty trace healing forest should be empty")
+	}
+}
+
+func TestAdoptEventsRecorded(t *testing.T) {
+	s := core.NewState(gen.Star(5), rng.New(2))
+	rec := Attach(s)
+	s.DeleteAndHeal(0, core.DASH{})
+	adopts := 0
+	for _, e := range rec.Events() {
+		if e.Kind == KindAdopt {
+			adopts++
+			if e.ID == 0 {
+				t.Error("adopt event with zero label")
+			}
+		}
+	}
+	if adopts == 0 {
+		t.Error("star heal must relabel someone")
+	}
+}
