@@ -1,0 +1,407 @@
+// Package dist is the distributed implementation of DASH and SDASH
+// (Saia & Trehan, "Picking up the Pieces", IPPS 2008): every live
+// network node is a goroutine owning its local state, and all
+// coordination happens through typed messages in per-node unbounded
+// mailboxes. It computes bit-for-bit the same healed topology as the
+// sequential reference in internal/core — cmd/dashdist cross-checks the
+// two round by round — while actually paying the message costs the
+// paper's lemmas account for.
+//
+// One healing round, triggered by Network.Kill(x):
+//
+//  1. Death. The supervisor (playing the failure detector) sends the
+//     victim a die order; the victim broadcasts a death notice to its G
+//     neighbors and stops. The notice is a bare tombstone: survivors
+//     already know the victim's neighborhood, labels, and initial IDs
+//     from their neighbor-of-neighbor (NoN) tables, the paper's
+//     locality assumption made concrete.
+//  2. Leader election, for free. Each orphan locally picks the orphan
+//     with the smallest initial ID from its NoN view of the victim —
+//     quiescence between rounds keeps those views identical, so all
+//     orphans elect the same leader with zero election messages — and
+//     sends the leader a heal report (its initial ID, current label, δ,
+//     and whether its lost edge was a G′ edge).
+//  3. Wiring. Once every expected report is in, the leader rebuilds
+//     RT = UN(x,G) ∪ N(x,G′) exactly as the sequential healer does,
+//     sorts it by (δ, initial ID), picks DASH's complete binary tree or
+//     SDASH's surrogate star, and sends both endpoints of every healing
+//     edge an attach order; endpoints ack back after updating G/G′
+//     adjacency and exchanging NoN hellos over new edges.
+//  4. MINID flood. After the last ack (so the wave travels the fully
+//     wired post-heal G′), the leader pushes the minimum label at every
+//     reconnection-set member that must adopt it; adopters notify all G
+//     neighbors (the Lemma 8 traffic, counted in Snapshot.MsgSent) and
+//     forward the hop-tagged wave through G′.
+//  5. Quiescence. A conservation counter over in-flight messages —
+//     incremented at send, decremented only after a handler (and thus
+//     all sends it caused) finished — reaches zero exactly when no
+//     message is queued or in processing anywhere. Kill blocks on that,
+//     so rounds never overlap and the NoN tables are consistent when
+//     the next attack lands. KillWithTimeout turns a hung round into an
+//     error carrying a full per-node mailbox dump instead of a deadlock.
+//
+// Snapshot assembles a global view (topologies G and G′, labels, δ, and
+// the per-node traffic counters) by querying every live actor; it is
+// instrumentation, not part of the protocol.
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// HealerKind selects the distributed healing rule.
+type HealerKind int
+
+const (
+	// HealDASH wires the reconnection set as a complete binary tree
+	// (Algorithm 1).
+	HealDASH HealerKind = iota
+	// HealSDASH surrogates through a star when that cannot push any δ
+	// past the set's current maximum, else falls back to the tree
+	// (Algorithm 3).
+	HealSDASH
+)
+
+// DefaultKillTimeout is how long Kill waits for a healing round to
+// quiesce before declaring the protocol wedged.
+const DefaultKillTimeout = 30 * time.Second
+
+// finalStats archives a dead node's traffic counters so Snapshot can
+// still report them (the sequential engine keeps dead nodes' counters
+// too).
+type finalStats struct {
+	msgSent   int64
+	coordMsgs int64
+	nonMsgs   int64
+}
+
+// Network is the supervisor for a set of node goroutines: it injects
+// failures, detects quiescence, and assembles snapshots. All protocol
+// state lives inside the nodes.
+type Network struct {
+	kind  HealerKind
+	n     int
+	nodes []*node
+	track *tracker
+	wg    sync.WaitGroup
+
+	// testDrop, when non-nil, simulates lossy transport: a message it
+	// returns true for is counted in flight but never delivered, so the
+	// round visibly fails to quiesce instead of silently mis-healing.
+	// Tests set it immediately after NewKind, before any Kill.
+	testDrop func(to int, msg message) bool
+
+	mu        sync.Mutex
+	dead      []bool // rounds completed: Kill succeeded for this node
+	exited    []bool // the node goroutine has stopped (set by the node itself)
+	deadStats []finalStats
+	roundHops map[int]int // this round's adopters -> min hop distance
+	floodSum  int64
+	floodMax  int
+	rounds    int
+	closed    bool
+}
+
+// New spawns a distributed DASH network over g. ids assigns each node
+// slot its immutable initial ID (as core.State.InitID would); the graph
+// is read during bootstrap and not retained.
+func New(g *graph.Graph, ids []uint64) *Network {
+	return NewKind(g, ids, HealDASH)
+}
+
+// NewKind is New with an explicit healing rule.
+func NewKind(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
+	nw := assemble(g, ids, kind)
+	nw.start()
+	return nw
+}
+
+// assemble builds the network without starting any node goroutine. Tests
+// use the unstarted form to deliver messages one at a time in an
+// adversarial order; production callers go through NewKind.
+func assemble(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
+	n := g.N()
+	if len(ids) != n {
+		panic(fmt.Sprintf("dist: %d ids for %d nodes", len(ids), n))
+	}
+	nw := &Network{
+		kind:      kind,
+		n:         n,
+		nodes:     make([]*node, n),
+		track:     &tracker{},
+		dead:      make([]bool, n),
+		exited:    make([]bool, n),
+		deadStats: make([]finalStats, n),
+		roundHops: make(map[int]int),
+	}
+	// Bootstrap each actor's local state straight from the overlay: its
+	// adjacency, and the NoN tables (each neighbor's full neighborhood
+	// with initial IDs) that the protocol's wills rely on. At t=0 every
+	// current label equals the initial ID, exactly like core.NewState.
+	for v := 0; v < n; v++ {
+		if !g.Alive(v) {
+			nw.dead[v] = true
+			continue
+		}
+		nd := &node{
+			nw:           nw,
+			id:           v,
+			initID:       ids[v],
+			curID:        ids[v],
+			initDeg:      g.Degree(v),
+			inbox:        newMailbox(),
+			gNbrs:        make(map[int]*nbrInfo),
+			gpNbrs:       make(map[int]struct{}),
+			pendingHello: make(map[int]map[int]uint64),
+			heals:        make(map[int]*healState),
+			floodRound:   -1,
+		}
+		for _, u := range g.Neighbors(v) {
+			uNbrs := g.Neighbors(u)
+			non := make(map[int]uint64, len(uNbrs))
+			for _, w := range uNbrs {
+				non[w] = ids[w]
+			}
+			nd.gNbrs[u] = &nbrInfo{initID: ids[u], curID: ids[u], nbrs: non}
+		}
+		nw.nodes[v] = nd
+	}
+	return nw
+}
+
+// start spawns one goroutine per live node.
+func (nw *Network) start() {
+	for _, nd := range nw.nodes {
+		if nd != nil {
+			nw.wg.Add(1)
+			go nd.run()
+		}
+	}
+}
+
+// send is the single transport primitive: count the message in flight,
+// then deliver it to the recipient's mailbox. Counting strictly before
+// delivery is what makes the quiescence counter conservative.
+func (nw *Network) send(to int, msg message) {
+	nw.track.add(1)
+	if drop := nw.testDrop; drop != nil && drop(to, msg) {
+		return
+	}
+	nw.nodes[to].inbox.push(msg)
+}
+
+// Kill deletes node v and blocks until the resulting healing round has
+// fully quiesced, like the sequential engine's DeleteAndHeal. It panics
+// if v is not alive (mirroring core.State.Remove) or if the round fails
+// to quiesce within DefaultKillTimeout.
+func (nw *Network) Kill(v int) {
+	if err := nw.KillWithTimeout(v, DefaultKillTimeout); err != nil {
+		panic(err)
+	}
+}
+
+// KillWithTimeout is Kill with an explicit quiescence deadline. On
+// timeout it returns an error carrying a diagnostic dump (in-flight
+// count and per-node mailbox depths) and leaves the network as-is; the
+// caller owns the watchdog policy.
+func (nw *Network) KillWithTimeout(v int, timeout time.Duration) error {
+	nw.mu.Lock()
+	if v < 0 || v >= nw.n || nw.dead[v] {
+		nw.mu.Unlock()
+		panic(fmt.Sprintf("dist: killing dead node %d", v))
+	}
+	nw.mu.Unlock()
+
+	nw.send(v, message{kind: msgDie})
+	if !nw.track.wait(timeout) {
+		return fmt.Errorf("dist: healing round for node %d did not quiesce within %v\n%s",
+			v, timeout, nw.DumpState())
+	}
+
+	nw.mu.Lock()
+	nw.dead[v] = true
+	nw.rounds++
+	depth := 0
+	for _, h := range nw.roundHops {
+		if h > depth {
+			depth = h
+		}
+	}
+	clear(nw.roundHops)
+	nw.floodSum += int64(depth)
+	if depth > nw.floodMax {
+		nw.floodMax = depth
+	}
+	nw.mu.Unlock()
+	return nil
+}
+
+// recordFloodDepth notes that node v adopted (or relaxed) this round's
+// label at the given hop distance from the reconnection set. The round's
+// depth is the maximum over adopters of each adopter's minimum distance
+// — the same quantity the sequential BFS computes for Lemma 9.
+func (nw *Network) recordFloodDepth(v, hops int) {
+	nw.mu.Lock()
+	if cur, ok := nw.roundHops[v]; !ok || hops < cur {
+		nw.roundHops[v] = hops
+	}
+	nw.mu.Unlock()
+}
+
+// storeFinal archives a dying node's counters and records that its
+// goroutine is gone, so Snapshot and Close never wait on it — even when
+// the round that killed it subsequently failed to quiesce.
+func (nw *Network) storeFinal(v int, fs finalStats) {
+	nw.mu.Lock()
+	nw.deadStats[v] = fs
+	nw.exited[v] = true
+	nw.mu.Unlock()
+}
+
+// FloodStats reports the MINID wave-depth accounting across all healing
+// rounds so far: the summed per-round maximum depth, the deepest single
+// wave, and the number of rounds. The wave relaxes hop tags to true G′
+// distances, so these equal the sequential core.State.FloodDepthSum,
+// MaxFloodDepth, and Rounds exactly.
+func (nw *Network) FloodStats() (sum int64, max int, rounds int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.floodSum, nw.floodMax, nw.rounds
+}
+
+// Snap is a quiescent-moment global view of the distributed network,
+// assembled by querying every live actor.
+type Snap struct {
+	G  *graph.Graph // the real network
+	Gp *graph.Graph // healing edges G′ ⊆ G
+
+	CurID []uint64 // component labels (0 for dead nodes)
+	Delta []int    // δ per node (0 for dead nodes)
+
+	MsgSent   []int64 // Lemma 8 label notifications sent, per node
+	CoordMsgs []int64 // healing coordination messages sent, per node
+	NoNMsgs   []int64 // NoN gossip messages sent, per node
+}
+
+// Snapshot collects the global state. Call it only between Kill rounds
+// (the network is quiescent then); it is not itself part of the
+// protocol and sends no countable traffic. Nodes whose goroutines have
+// exited — including the victim of a round that failed its quiescence
+// watchdog — are reported from their archived final state rather than
+// queried, so Snapshot never blocks on a dead actor.
+func (nw *Network) Snapshot() *Snap {
+	nw.mu.Lock()
+	dead := make([]bool, nw.n)
+	for v := range dead {
+		dead[v] = nw.dead[v] || nw.exited[v]
+	}
+	stats := append([]finalStats(nil), nw.deadStats...)
+	nw.mu.Unlock()
+
+	snap := &Snap{
+		G:         graph.New(nw.n),
+		Gp:        graph.New(nw.n),
+		CurID:     make([]uint64, nw.n),
+		Delta:     make([]int, nw.n),
+		MsgSent:   make([]int64, nw.n),
+		CoordMsgs: make([]int64, nw.n),
+		NoNMsgs:   make([]int64, nw.n),
+	}
+	replies := make(chan nodeSnap, nw.n)
+	live := 0
+	for v := 0; v < nw.n; v++ {
+		if dead[v] {
+			snap.G.RemoveNode(v)
+			snap.Gp.RemoveNode(v)
+			snap.MsgSent[v] = stats[v].msgSent
+			snap.CoordMsgs[v] = stats[v].coordMsgs
+			snap.NoNMsgs[v] = stats[v].nonMsgs
+			continue
+		}
+		live++
+		nw.send(v, message{kind: msgSnapshot, reply: replies})
+	}
+	for i := 0; i < live; i++ {
+		ns := <-replies
+		snap.CurID[ns.id] = ns.curID
+		snap.Delta[ns.id] = ns.delta
+		snap.MsgSent[ns.id] = ns.msgSent
+		snap.CoordMsgs[ns.id] = ns.coordMsgs
+		snap.NoNMsgs[ns.id] = ns.nonMsgs
+		for _, u := range ns.gNbrs {
+			if !snap.G.HasEdge(ns.id, u) && snap.G.Alive(u) {
+				snap.G.AddEdge(ns.id, u)
+			}
+		}
+		for _, u := range ns.gpNbrs {
+			if !snap.Gp.HasEdge(ns.id, u) && snap.Gp.Alive(u) {
+				snap.Gp.AddEdge(ns.id, u)
+			}
+		}
+	}
+	return snap
+}
+
+// Close stops every node goroutine and waits for them to exit. Safe to
+// call more than once; the network is unusable afterwards.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return
+	}
+	nw.closed = true
+	gone := make([]bool, nw.n)
+	for v := range gone {
+		gone[v] = nw.dead[v] || nw.exited[v]
+	}
+	nw.mu.Unlock()
+	for v, nd := range nw.nodes {
+		if nd != nil && !gone[v] {
+			nw.send(v, message{kind: msgStop})
+		}
+	}
+	nw.wg.Wait()
+}
+
+// DumpState renders a human-readable diagnostic of the network's
+// concurrency state: the quiescence counter and every live node's
+// mailbox backlog. It is what KillWithTimeout attaches to a watchdog
+// failure.
+func (nw *Network) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dist network dump: %d in-flight messages\n", nw.track.pending())
+	nw.mu.Lock()
+	dead := append([]bool(nil), nw.dead...)
+	nw.mu.Unlock()
+	type row struct {
+		v, backlog int
+	}
+	var busy []row
+	alive := 0
+	for v, nd := range nw.nodes {
+		if nd == nil || dead[v] {
+			continue
+		}
+		alive++
+		if n := nd.inbox.size(); n > 0 {
+			busy = append(busy, row{v, n})
+		}
+	}
+	sort.Slice(busy, func(i, j int) bool { return busy[i].backlog > busy[j].backlog })
+	fmt.Fprintf(&b, "  %d live nodes, %d with non-empty mailboxes\n", alive, len(busy))
+	for i, r := range busy {
+		if i == 16 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(busy)-16)
+			break
+		}
+		fmt.Fprintf(&b, "  node %d: %d queued messages\n", r.v, r.backlog)
+	}
+	return b.String()
+}

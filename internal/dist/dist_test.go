@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// newTestNet builds a small distributed network over a seeded BA graph.
+func newTestNet(t *testing.T, n int, seed uint64, kind HealerKind) *Network {
+	t.Helper()
+	g := gen.BarabasiAlbert(n, 3, rng.New(seed))
+	r := rng.New(seed + 1)
+	ids := make([]uint64, n)
+	seen := make(map[uint64]bool, n)
+	for v := range ids {
+		id := r.Uint64()
+		for seen[id] {
+			id = r.Uint64()
+		}
+		seen[id] = true
+		ids[v] = id
+	}
+	return NewKind(g, ids, kind)
+}
+
+func TestKillHealsAndQuiesces(t *testing.T) {
+	nw := newTestNet(t, 48, 1, HealDASH)
+	defer nw.Close()
+	for v := 0; v < 24; v++ {
+		if err := nw.KillWithTimeout(v, testTimeout); err != nil {
+			t.Fatalf("kill %d: %v", v, err)
+		}
+		snap := nw.Snapshot()
+		if !snap.G.Connected() {
+			t.Fatalf("after kill %d: disconnected", v)
+		}
+		if !snap.Gp.IsSubgraphOf(snap.G) {
+			t.Fatalf("after kill %d: G′ ⊄ G", v)
+		}
+		if !snap.Gp.IsForest() {
+			t.Fatalf("after kill %d: G′ has a cycle (Lemma 1 violated)", v)
+		}
+	}
+	_, _, rounds := nw.FloodStats()
+	if rounds != 24 {
+		t.Fatalf("rounds = %d, want 24", rounds)
+	}
+}
+
+// TestKillToEmpty drains an entire network one node at a time: every
+// round must quiesce and the final snapshot must be empty.
+func TestKillToEmpty(t *testing.T) {
+	const n = 40
+	nw := newTestNet(t, n, 2, HealSDASH)
+	defer nw.Close()
+	for v := 0; v < n; v++ {
+		if err := nw.KillWithTimeout(v, testTimeout); err != nil {
+			t.Fatalf("kill %d: %v", v, err)
+		}
+	}
+	snap := nw.Snapshot()
+	if snap.G.NumAlive() != 0 || snap.G.NumEdges() != 0 {
+		t.Fatalf("network not empty: %d alive, %d edges", snap.G.NumAlive(), snap.G.NumEdges())
+	}
+}
+
+func TestKillIsolatedNodes(t *testing.T) {
+	g := graph.New(3) // no edges: death notices go nowhere
+	nw := New(g, []uint64{10, 20, 30})
+	defer nw.Close()
+	for v := 0; v < 3; v++ {
+		if err := nw.KillWithTimeout(v, testTimeout); err != nil {
+			t.Fatalf("kill isolated %d: %v", v, err)
+		}
+	}
+	if snap := nw.Snapshot(); snap.G.NumAlive() != 0 {
+		t.Fatalf("%d nodes still alive", snap.G.NumAlive())
+	}
+}
+
+func TestKillDeadNodePanics(t *testing.T) {
+	nw := newTestNet(t, 16, 3, HealDASH)
+	defer nw.Close()
+	nw.Kill(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("killing a dead node should panic, like core.State.Remove")
+		}
+	}()
+	nw.Kill(0)
+}
+
+// TestSnapshotKeepsDeadCounters: the paper's accounting includes nodes
+// that have since been deleted, so a dead node's traffic totals must
+// survive in snapshots (the hub of a star sends one death notice per
+// leaf, so its coordination counter is visibly non-zero).
+func TestSnapshotKeepsDeadCounters(t *testing.T) {
+	nw := newTestNet(t, 32, 4, HealDASH)
+	defer nw.Close()
+	hub := 0
+	snapBefore := nw.Snapshot()
+	deg := snapBefore.G.Degree(hub)
+	if deg == 0 {
+		t.Fatalf("node %d unexpectedly isolated", hub)
+	}
+	nw.Kill(hub)
+	snap := nw.Snapshot()
+	if snap.CoordMsgs[hub] < int64(deg) {
+		t.Fatalf("dead node's coordination counter %d < its %d death notices", snap.CoordMsgs[hub], deg)
+	}
+}
+
+func TestNewRejectsIDMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on len(ids) != n")
+		}
+	}()
+	New(graph.New(4), []uint64{1, 2})
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	nw := newTestNet(t, 16, 5, HealDASH)
+	nw.Kill(3)
+	nw.Close()
+	nw.Close() // must not hang or panic
+}
+
+func TestTrackerQuiescence(t *testing.T) {
+	tr := &tracker{}
+	if !tr.wait(time.Millisecond) {
+		t.Fatal("empty tracker should be quiescent immediately")
+	}
+	tr.add(2)
+	if tr.wait(10 * time.Millisecond) {
+		t.Fatal("tracker with in-flight messages reported quiescent")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- tr.wait(5 * time.Second) }()
+	tr.done()
+	tr.done()
+	if !<-done {
+		t.Fatal("waiter not released when counter hit zero")
+	}
+	if tr.pending() != 0 {
+		t.Fatalf("pending = %d, want 0", tr.pending())
+	}
+}
+
+// TestWatchdogDumpOnLostMessage is the quiescence watchdog test: with a
+// lossy transport that drops every heal report, the round can never
+// complete, and KillWithTimeout must detect that and return an error
+// carrying a usable diagnostic dump rather than deadlocking.
+func TestWatchdogDumpOnLostMessage(t *testing.T) {
+	nw := newTestNet(t, 24, 6, HealDASH)
+	defer nw.Close()
+	nw.testDrop = func(to int, msg message) bool { return msg.kind == msgHealReport }
+
+	err := nw.KillWithTimeout(0, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("round quiesced despite every heal report being dropped")
+	}
+	for _, want := range []string{"did not quiesce", "in-flight"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("watchdog error missing %q:\n%s", want, err)
+		}
+	}
+	if nw.track.pending() == 0 {
+		t.Error("dropped messages should remain visibly in flight")
+	}
+}
+
+// TestSnapshotAfterWatchdogTimeout: a round that fails its watchdog
+// leaves a victim whose goroutine already exited; Snapshot must report
+// it from archived state instead of blocking forever on its mailbox.
+func TestSnapshotAfterWatchdogTimeout(t *testing.T) {
+	nw := newTestNet(t, 24, 8, HealDASH)
+	defer nw.Close()
+	nw.testDrop = func(to int, msg message) bool { return msg.kind == msgHealReport }
+	if err := nw.KillWithTimeout(0, 300*time.Millisecond); err == nil {
+		t.Fatal("round quiesced despite dropped heal reports")
+	}
+
+	done := make(chan *Snap, 1)
+	go func() { done <- nw.Snapshot() }()
+	select {
+	case snap := <-done:
+		if snap.G.Alive(0) {
+			t.Fatal("victim of the failed round still reported alive")
+		}
+		if snap.CoordMsgs[0] == 0 {
+			t.Fatal("victim's archived death-notice traffic missing from snapshot")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Snapshot hung after a watchdog timeout")
+	}
+}
+
+// TestDumpState sanity-checks the diagnostic renderer on a healthy net.
+func TestDumpState(t *testing.T) {
+	nw := newTestNet(t, 16, 7, HealDASH)
+	defer nw.Close()
+	dump := nw.DumpState()
+	for _, want := range []string{"in-flight", "live nodes"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dist
+
+// The protocol's message vocabulary. Every inter-node interaction in the
+// distributed implementation is one of these typed messages delivered to
+// a node's mailbox; nothing else is shared between node goroutines.
+type msgKind uint8
+
+const (
+	// msgDie is the failure detector's order to a node: broadcast your
+	// death notice to every G neighbor and stop. It is the only message
+	// the supervisor originates during a healing round.
+	msgDie msgKind = iota
+
+	// msgDeathNotice is the dying node's tombstone, sent to each of its
+	// G neighbors. It carries no payload beyond the victim's identity:
+	// the survivors already hold the victim's neighborhood (with initial
+	// IDs) and its component label in their neighbor-of-neighbor tables,
+	// which is exactly the locality assumption of the paper's model.
+	msgDeathNotice
+
+	// msgHealReport is an orphan's contribution to the heal, sent to the
+	// round's leader (the orphan with the smallest initial ID, which
+	// every orphan computes locally from its NoN table of the victim).
+	msgHealReport
+
+	// msgAttach is the leader's order to one endpoint of a healing edge:
+	// connect to peer (in G if not already adjacent, and in G′). The
+	// order carries the peer's initial ID and current label so the new
+	// neighbors know each other immediately.
+	msgAttach
+
+	// msgAttachAck confirms one msgAttach back to the leader. The leader
+	// starts the MINID flood only after every ack, so label propagation
+	// always runs over the fully wired reconstruction tree.
+	msgAttachAck
+
+	// msgLabelFlood is the hop-tagged MINID wave: adopt the label if it
+	// is smaller than yours, then forward through G′.
+	msgLabelFlood
+
+	// msgLabelNotify is the Lemma 8 notification: a node whose component
+	// label dropped tells every G neighbor its new label. These are the
+	// messages counted in Snapshot.MsgSent.
+	msgLabelNotify
+
+	// msgNoNFull is the hello exchanged over a freshly attached edge:
+	// the sender's complete neighbor list (with initial IDs), seeding
+	// the receiver's NoN table entry for its new neighbor.
+	msgNoNFull
+
+	// msgNoNAdd and msgNoNRemove are incremental NoN gossip: the sender
+	// gained/lost the named neighbor, so update your view of the
+	// sender's neighborhood.
+	msgNoNAdd
+	msgNoNRemove
+
+	// msgSnapshot asks a node to report its local state on the reply
+	// channel. Instrumentation only; not counted as protocol traffic.
+	msgSnapshot
+
+	// msgStop terminates a node goroutine (network shutdown).
+	msgStop
+)
+
+// healReport is what each orphan tells the leader about itself: exactly
+// the per-member facts the sequential healer reads from global state
+// (initial ID for tie-breaking, current label for the UN partition, δ for
+// the binary-tree ordering, and whether its lost edge was a G′ edge).
+type healReport struct {
+	from     int
+	initID   uint64
+	curID    uint64
+	delta    int
+	wasGpNbr bool
+}
+
+// nodeSnap is a node's reply to msgSnapshot.
+type nodeSnap struct {
+	id        int
+	curID     uint64
+	delta     int
+	gNbrs     []int
+	gpNbrs    []int
+	msgSent   int64
+	coordMsgs int64
+	nonMsgs   int64
+}
+
+// message is the single wire format; kind selects which fields are live.
+type message struct {
+	kind msgKind
+	from int
+
+	// victim identifies the healing round (msgDeathNotice, msgHealReport,
+	// msgAttach, msgAttachAck).
+	victim int
+
+	// msgHealReport payload.
+	report healReport
+
+	// msgAttach payload: connect to peer; leader is where the ack goes.
+	peer       int
+	peerInitID uint64
+	peerCurID  uint64
+	leader     int
+
+	// msgLabelFlood / msgLabelNotify payload.
+	label uint64
+	hops  int
+
+	// msgNoNAdd / msgNoNRemove payload: the neighbor the sender
+	// gained/lost. msgNoNFull uses nonNbrs instead.
+	nonPeer       int
+	nonPeerInitID uint64
+	nonNbrs       map[int]uint64
+
+	// msgSnapshot reply channel.
+	reply chan nodeSnap
+}
+
+func (k msgKind) String() string {
+	switch k {
+	case msgDie:
+		return "die"
+	case msgDeathNotice:
+		return "death-notice"
+	case msgHealReport:
+		return "heal-report"
+	case msgAttach:
+		return "attach"
+	case msgAttachAck:
+		return "attach-ack"
+	case msgLabelFlood:
+		return "label-flood"
+	case msgLabelNotify:
+		return "label-notify"
+	case msgNoNFull:
+		return "non-full"
+	case msgNoNAdd:
+		return "non-add"
+	case msgNoNRemove:
+		return "non-remove"
+	case msgSnapshot:
+		return "snapshot"
+	case msgStop:
+		return "stop"
+	}
+	return "unknown"
+}

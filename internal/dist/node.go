@@ -1,0 +1,460 @@
+package dist
+
+import "fmt"
+
+// nbrInfo is everything a node knows about one G neighbor: its immutable
+// initial ID, its current component label (kept fresh by msgLabelNotify),
+// and — the paper's neighbor-of-neighbor assumption — that neighbor's own
+// neighborhood with initial IDs, kept fresh by NoN gossip. The NoN table
+// is what lets the survivors of a deletion agree on a leader and on the
+// set of orphans without any central coordinator.
+type nbrInfo struct {
+	initID uint64
+	curID  uint64
+	nbrs   map[int]uint64 // the neighbor's neighbors -> their initial IDs
+}
+
+// healState is the leader's per-round scratchpad while it collects the
+// orphans' heal reports and, later, the attach acks.
+type healState struct {
+	victimCurID uint64
+	expect      map[int]struct{} // orphans that must report; nil until the
+	// leader has itself processed the death notice
+	reports  map[int]healReport
+	acksLeft int
+	rt       []healReport // the sorted reconnection set, kept for the flood
+	wired    bool
+}
+
+// node is one network participant: a goroutine owning all of its state,
+// reachable only through its mailbox.
+type node struct {
+	nw *Network
+	id int
+
+	initID  uint64
+	curID   uint64
+	initDeg int
+
+	inbox *mailbox
+
+	gNbrs  map[int]*nbrInfo
+	gpNbrs map[int]struct{} // subset of gNbrs: edges also in G′
+
+	// pendingHello buffers a msgNoNFull that arrived before this node
+	// processed its own attach order for the same new edge (the leader
+	// sends the two attach orders back to back, so the peer's hello can
+	// overtake ours). onAttach drains it into the fresh nbrInfo.
+	pendingHello map[int]map[int]uint64
+
+	heals map[int]*healState // rounds this node is leading, by victim
+
+	// floodRound/floodHops track the current round's MINID wave: the
+	// victim whose round this label belongs to and the smallest hop tag
+	// seen so far, so the wave relaxes to true G′ distances and the
+	// Lemma 9 depth accounting is deterministic (and equal to the
+	// sequential BFS depth) rather than first-arrival order.
+	floodRound int
+	floodHops  int
+
+	// Traffic counters, split the way the paper's accounting splits them.
+	msgSent   int64 // Lemma 8 label notifications
+	coordMsgs int64 // death notices, reports, attach orders/acks, flood
+	nonMsgs   int64 // NoN gossip
+}
+
+func (nd *node) delta() int { return len(nd.gNbrs) - nd.initDeg }
+
+// run is the actor loop: drain the mailbox, park on the signal channel
+// when empty. Each handled message is acknowledged to the quiescence
+// tracker only after its handler returned (and therefore after all of
+// its consequences were themselves counted).
+func (nd *node) run() {
+	defer nd.nw.wg.Done()
+	for {
+		msg, ok := nd.inbox.pop()
+		if !ok {
+			<-nd.inbox.signal
+			continue
+		}
+		stop := nd.handle(msg)
+		nd.nw.track.done()
+		if stop {
+			return
+		}
+	}
+}
+
+// handle dispatches one message; it reports true when the node must stop.
+func (nd *node) handle(msg message) bool {
+	switch msg.kind {
+	case msgDie:
+		nd.die()
+		return true
+	case msgStop:
+		return true
+	case msgDeathNotice:
+		nd.onDeathNotice(msg.victim)
+	case msgHealReport:
+		nd.onHealReport(msg.victim, msg.report)
+	case msgAttach:
+		nd.onAttach(msg)
+	case msgAttachAck:
+		nd.onAttachAck(msg.victim)
+	case msgLabelFlood:
+		nd.onLabelFlood(msg.victim, msg.label, msg.hops)
+	case msgLabelNotify:
+		if info, ok := nd.gNbrs[msg.from]; ok {
+			info.curID = msg.label
+		}
+	case msgNoNFull:
+		if info, ok := nd.gNbrs[msg.from]; ok {
+			info.nbrs = msg.nonNbrs
+		} else {
+			// The peer's hello overtook our own attach order for the
+			// new edge; hold it until onAttach creates the entry.
+			nd.pendingHello[msg.from] = msg.nonNbrs
+		}
+	case msgNoNAdd:
+		if info, ok := nd.gNbrs[msg.from]; ok && info.nbrs != nil {
+			info.nbrs[msg.nonPeer] = msg.nonPeerInitID
+		} else if hello, ok := nd.pendingHello[msg.from]; ok {
+			// Same-sender FIFO guarantees the hello precedes any
+			// incremental gossip, so a buffered hello is the only other
+			// place an update can land.
+			hello[msg.nonPeer] = msg.nonPeerInitID
+		}
+	case msgNoNRemove:
+		if info, ok := nd.gNbrs[msg.from]; ok && info.nbrs != nil {
+			delete(info.nbrs, msg.nonPeer)
+		} else if hello, ok := nd.pendingHello[msg.from]; ok {
+			delete(hello, msg.nonPeer)
+		}
+	case msgSnapshot:
+		msg.reply <- nd.snapshot()
+	default:
+		panic(fmt.Sprintf("dist: node %d: unknown message kind %v", nd.id, msg.kind))
+	}
+	return false
+}
+
+// die broadcasts this node's tombstone to every G neighbor and archives
+// its final traffic counters with the supervisor. The survivors already
+// hold everything else they need (the will) in their NoN tables.
+func (nd *node) die() {
+	for w := range nd.gNbrs {
+		nd.coordMsgs++
+		nd.nw.send(w, message{kind: msgDeathNotice, from: nd.id, victim: nd.id})
+	}
+	nd.nw.storeFinal(nd.id, finalStats{nd.msgSent, nd.coordMsgs, nd.nonMsgs})
+}
+
+// onDeathNotice is the orphan side of a deletion: drop the victim from
+// the local topology, gossip the loss, deterministically pick the round's
+// leader from the NoN table, and send the leader this orphan's heal
+// report. When this orphan IS the leader it also freezes the expected
+// reporter set from its (pre-deletion) view of the victim's neighborhood.
+func (nd *node) onDeathNotice(x int) {
+	info, ok := nd.gNbrs[x]
+	if !ok {
+		panic(fmt.Sprintf("dist: node %d got death notice for non-neighbor %d", nd.id, x))
+	}
+	_, wasGp := nd.gpNbrs[x]
+	delete(nd.gNbrs, x)
+	delete(nd.gpNbrs, x)
+
+	// NoN gossip: my neighborhood shrank.
+	for w := range nd.gNbrs {
+		nd.nonMsgs++
+		nd.nw.send(w, message{kind: msgNoNRemove, from: nd.id, nonPeer: x})
+	}
+
+	// Leader election, resolved locally: every orphan holds the same NoN
+	// view of the victim's neighborhood (quiescence between rounds keeps
+	// the tables consistent), so all pick the same minimum-initial-ID
+	// orphan without exchanging a single extra message.
+	if info.nbrs == nil {
+		panic(fmt.Sprintf("dist: node %d has no NoN entry for dead neighbor %d", nd.id, x))
+	}
+	leader := nd.id
+	best := nd.initID
+	for v, vid := range info.nbrs {
+		if vid < best {
+			leader, best = v, vid
+		}
+	}
+
+	if leader == nd.id {
+		hs := nd.healFor(x)
+		hs.victimCurID = info.curID
+		hs.expect = make(map[int]struct{}, len(info.nbrs))
+		for v := range info.nbrs {
+			hs.expect[v] = struct{}{}
+		}
+	}
+
+	nd.coordMsgs++
+	nd.nw.send(leader, message{
+		kind:   msgHealReport,
+		from:   nd.id,
+		victim: x,
+		report: healReport{
+			from:     nd.id,
+			initID:   nd.initID,
+			curID:    nd.curID,
+			delta:    nd.delta(),
+			wasGpNbr: wasGp,
+		},
+	})
+}
+
+// healFor returns (creating if needed) the leader state for a victim.
+// Creation is lazy because another orphan's report can overtake the
+// leader's own death notice in the mail.
+func (nd *node) healFor(x int) *healState {
+	hs, ok := nd.heals[x]
+	if !ok {
+		hs = &healState{reports: make(map[int]healReport)}
+		nd.heals[x] = hs
+	}
+	return hs
+}
+
+func (nd *node) onHealReport(x int, rep healReport) {
+	hs := nd.healFor(x)
+	hs.reports[rep.from] = rep
+	nd.maybeWire(x, hs)
+}
+
+// maybeWire runs once the leader knows the full orphan set and has every
+// report: it computes the reconnection set and the healing edges exactly
+// as the sequential reference does, then issues attach orders.
+func (nd *node) maybeWire(x int, hs *healState) {
+	if hs.wired || hs.expect == nil || len(hs.reports) < len(hs.expect) {
+		return
+	}
+	for v := range hs.expect {
+		if _, ok := hs.reports[v]; !ok {
+			panic(fmt.Sprintf("dist: leader %d: report count full but orphan %d missing", nd.id, v))
+		}
+	}
+	hs.wired = true
+
+	rt := reconnectSet(hs)
+	hs.rt = rt
+	if len(rt) == 0 {
+		nd.finishRound(x, hs)
+		return
+	}
+
+	// Choose the healing edges. DASH: complete binary tree over RT in
+	// ascending (δ, initial ID). SDASH: surrogate star when the best
+	// candidate can absorb the whole set without exceeding the current
+	// maximum δ, else DASH's tree — the exact rule of core.SDASH.
+	var edges [][2]healReport
+	tree := func() {
+		for i := range rt {
+			for _, c := range []int{2*i + 1, 2*i + 2} {
+				if c < len(rt) {
+					edges = append(edges, [2]healReport{rt[i], rt[c]})
+				}
+			}
+		}
+	}
+	switch nd.nw.kind {
+	case HealSDASH:
+		w, m := rt[0], rt[len(rt)-1]
+		if w.delta+len(rt)-1 <= m.delta {
+			for _, v := range rt[1:] {
+				edges = append(edges, [2]healReport{w, v})
+			}
+		} else {
+			tree()
+		}
+	default:
+		tree()
+	}
+
+	if len(edges) == 0 {
+		nd.startFlood(x, hs)
+		return
+	}
+	hs.acksLeft = 2 * len(edges)
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		nd.coordMsgs++
+		nd.nw.send(a.from, message{
+			kind: msgAttach, from: nd.id, victim: x, leader: nd.id,
+			peer: b.from, peerInitID: b.initID, peerCurID: b.curID,
+		})
+		nd.coordMsgs++
+		nd.nw.send(b.from, message{
+			kind: msgAttach, from: nd.id, victim: x, leader: nd.id,
+			peer: a.from, peerInitID: a.initID, peerCurID: a.curID,
+		})
+	}
+}
+
+// reconnectSet rebuilds RT = UN(x,G) ∪ N(x,G′) from the heal reports and
+// sorts it ascending by (δ, initial ID) — the complete-binary-tree order
+// of Algorithm 1. G′ neighbors of the victim necessarily carry the
+// victim's own label (they were in its G′ component), so the UN class
+// filter excludes them and the union below never double-counts.
+func reconnectSet(hs *healState) []healReport {
+	classRep := make(map[uint64]healReport)
+	var rt []healReport
+	for _, rep := range hs.reports {
+		if rep.wasGpNbr {
+			rt = append(rt, rep)
+			continue
+		}
+		if rep.curID == hs.victimCurID {
+			continue
+		}
+		if cur, ok := classRep[rep.curID]; !ok || rep.initID < cur.initID {
+			classRep[rep.curID] = rep
+		}
+	}
+	for _, rep := range classRep {
+		rt = append(rt, rep)
+	}
+	// Insertion sort by (δ, initID); initial IDs are unique so the order
+	// is total and identical to core.State.SortByDelta.
+	for i := 1; i < len(rt); i++ {
+		for j := i; j > 0; j-- {
+			a, b := rt[j-1], rt[j]
+			if a.delta < b.delta || (a.delta == b.delta && a.initID <= b.initID) {
+				break
+			}
+			rt[j-1], rt[j] = b, a
+		}
+	}
+	return rt
+}
+
+// onAttach wires one endpoint of a healing edge: into G only when the
+// nodes were not already real-network neighbors (so δ never rises for a
+// pre-existing edge, matching core.State.AddHealingEdge), and into G′
+// unconditionally. New G neighbors exchange full NoN hellos; existing
+// neighbors need nothing.
+func (nd *node) onAttach(msg message) {
+	b := msg.peer
+	if _, already := nd.gNbrs[b]; !already {
+		info := &nbrInfo{initID: msg.peerInitID, curID: msg.peerCurID}
+		if hello, ok := nd.pendingHello[b]; ok {
+			info.nbrs = hello
+			delete(nd.pendingHello, b)
+		}
+		nd.gNbrs[b] = info
+		// Hello: seed the new neighbor's NoN entry for me with my full,
+		// current neighborhood (it does the same for me).
+		hello := make(map[int]uint64, len(nd.gNbrs))
+		for w, info := range nd.gNbrs {
+			hello[w] = info.initID
+		}
+		nd.nonMsgs++
+		nd.nw.send(b, message{kind: msgNoNFull, from: nd.id, nonNbrs: hello})
+		// Incremental gossip to everyone else: my neighborhood grew.
+		for w := range nd.gNbrs {
+			if w == b {
+				continue
+			}
+			nd.nonMsgs++
+			nd.nw.send(w, message{kind: msgNoNAdd, from: nd.id, nonPeer: b, nonPeerInitID: msg.peerInitID})
+		}
+	}
+	nd.gpNbrs[b] = struct{}{}
+	nd.coordMsgs++
+	nd.nw.send(msg.leader, message{kind: msgAttachAck, from: nd.id, victim: msg.victim})
+}
+
+func (nd *node) onAttachAck(x int) {
+	hs, ok := nd.heals[x]
+	if !ok {
+		panic(fmt.Sprintf("dist: leader %d got attach ack for unknown round (victim %d)", nd.id, x))
+	}
+	hs.acksLeft--
+	if hs.acksLeft == 0 {
+		nd.startFlood(x, hs)
+	}
+}
+
+// startFlood launches step 5 of Algorithm 1 once the reconstruction tree
+// is fully wired: compute MINID over the reconnection set and push a
+// hop-tagged wave at every member whose label must drop. Waiting for all
+// attach acks first means the wave always travels the post-heal G′, so
+// adoption sets and notification fan-outs match the sequential engine.
+func (nd *node) startFlood(x int, hs *healState) {
+	defer nd.finishRound(x, hs)
+	if len(hs.rt) == 0 {
+		return
+	}
+	minID := hs.rt[0].curID
+	for _, rep := range hs.rt[1:] {
+		if rep.curID < minID {
+			minID = rep.curID
+		}
+	}
+	for _, rep := range hs.rt {
+		if rep.curID > minID {
+			nd.coordMsgs++
+			nd.nw.send(rep.from, message{kind: msgLabelFlood, from: nd.id, victim: x, label: minID, hops: 0})
+		}
+	}
+}
+
+func (nd *node) finishRound(x int, hs *healState) {
+	delete(nd.heals, x)
+}
+
+// onLabelFlood handles one MINID wave message. A smaller label is
+// adopted and propagated: the Lemma 8 notification to every G neighbor
+// (counted in msgSent), and the wave itself, one hop deeper, to every G′
+// neighbor. A wave for the already-adopted label with a smaller hop tag
+// is a shorter path discovered late; the node relaxes its recorded depth
+// and re-forwards (a distributed BFS relaxation), so the per-node depths
+// converge to true G′ distances from the reconnection set regardless of
+// delivery order — making the Lemma 9 accounting deterministic and equal
+// to the sequential engine's. Anything else is stale and dies here,
+// which is what terminates the flood.
+func (nd *node) onLabelFlood(victim int, label uint64, hops int) {
+	switch {
+	case label < nd.curID: // adopt
+		nd.curID = label
+		nd.floodRound = victim
+		nd.floodHops = hops
+		for w := range nd.gNbrs {
+			nd.msgSent++
+			nd.nw.send(w, message{kind: msgLabelNotify, from: nd.id, label: label})
+		}
+	case label == nd.curID && victim == nd.floodRound && hops < nd.floodHops: // relax
+		nd.floodHops = hops
+	default:
+		return
+	}
+	nd.nw.recordFloodDepth(nd.id, hops)
+	for w := range nd.gpNbrs {
+		nd.coordMsgs++
+		nd.nw.send(w, message{kind: msgLabelFlood, from: nd.id, victim: victim, label: label, hops: hops + 1})
+	}
+}
+
+func (nd *node) snapshot() nodeSnap {
+	snap := nodeSnap{
+		id:        nd.id,
+		curID:     nd.curID,
+		delta:     nd.delta(),
+		gNbrs:     make([]int, 0, len(nd.gNbrs)),
+		gpNbrs:    make([]int, 0, len(nd.gpNbrs)),
+		msgSent:   nd.msgSent,
+		coordMsgs: nd.coordMsgs,
+		nonMsgs:   nd.nonMsgs,
+	}
+	for w := range nd.gNbrs {
+		snap.gNbrs = append(snap.gNbrs, w)
+	}
+	for w := range nd.gpNbrs {
+		snap.gpNbrs = append(snap.gpNbrs, w)
+	}
+	return snap
+}

@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// tracker is the network's quiescence detector: a conservation counter
+// over in-flight messages. send() increments before a message is
+// enqueued; a node's run loop decrements only after the handler has
+// returned, i.e. after every message the handler itself sent has already
+// been counted. Under that ordering the counter can only read zero when
+// no message is queued or being processed anywhere, so "counter hit
+// zero" is exactly "the healing round has quiesced" — the distributed
+// analogue of the sequential engine returning from DeleteAndHeal.
+type tracker struct {
+	mu       sync.Mutex
+	inflight int64
+	waiters  []chan struct{}
+}
+
+// add registers n newly sent, not-yet-processed messages.
+func (t *tracker) add(n int64) {
+	t.mu.Lock()
+	t.inflight += n
+	t.mu.Unlock()
+}
+
+// done marks one message fully processed (its handler returned).
+func (t *tracker) done() {
+	t.mu.Lock()
+	t.inflight--
+	if t.inflight < 0 {
+		t.mu.Unlock()
+		panic("dist: quiescence counter went negative (done without send)")
+	}
+	if t.inflight == 0 {
+		for _, w := range t.waiters {
+			close(w)
+		}
+		t.waiters = nil
+	}
+	t.mu.Unlock()
+}
+
+// pending returns the current in-flight count (diagnostics).
+func (t *tracker) pending() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inflight
+}
+
+// wait blocks until the network quiesces (in-flight count reaches zero)
+// or the timeout elapses, reporting whether quiescence was reached.
+func (t *tracker) wait(timeout time.Duration) bool {
+	t.mu.Lock()
+	if t.inflight == 0 {
+		t.mu.Unlock()
+		return true
+	}
+	w := make(chan struct{})
+	t.waiters = append(t.waiters, w)
+	t.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// mailbox is an unbounded FIFO inbox. Unboundedness is load-bearing:
+// node A healing while node B floods can produce cyclic send patterns,
+// and with bounded channels two full inboxes sending to each other would
+// deadlock. Pushes never block; same-sender ordering is preserved
+// because each sender pushes sequentially from its own handler.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []message
+	signal chan struct{} // capacity 1: "the queue may be non-empty"
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{signal: make(chan struct{}, 1)}
+}
+
+// push enqueues msg and wakes the owner if it is parked.
+func (m *mailbox) push(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	select {
+	case m.signal <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues the oldest message, reporting false when empty.
+func (m *mailbox) pop() (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return message{}, false
+	}
+	msg := m.queue[0]
+	m.queue[0] = message{} // drop payload references held by the backing array
+	m.queue = m.queue[1:]
+	if len(m.queue) == 0 {
+		m.queue = nil // release the consumed backing array
+	}
+	return msg, true
+}
+
+// size returns the queue length (diagnostics).
+func (m *mailbox) size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

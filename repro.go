@@ -12,7 +12,11 @@
 //	internal/gen         Barabási–Albert, k-ary trees, and other topologies
 //	internal/sim         the delete→heal→measure experiment loop
 //	internal/metrics     stretch and degree statistics
-//	internal/dist        message-passing distributed DASH
+//	internal/dist        goroutine-per-node distributed DASH/SDASH: death
+//	                     notices, locally elected leaders collecting heal
+//	                     reports, attach orders with acks, hop-tagged MINID
+//	                     label floods, and NoN gossip, with quiescence
+//	                     detected by an in-flight message counter
 //	internal/experiments the paper's figures/tables as table generators
 //
 // Quick start:
