@@ -51,6 +51,18 @@ func BenchmarkFig8MaxDegreeIncrease(b *testing.B) {
 	b.ReportMetric(cellF(b, tab, last, 4), "SDASH_δ")
 }
 
+// BenchmarkFig8SweepN512 regenerates Figure 8 at the paper's largest
+// size only (n=512, 3 trials): the end-to-end sweep benchmark used to
+// track the experiment engine's wall-clock across PRs. Run with
+// -benchtime=1x; one iteration is already a full four-healer sweep.
+func BenchmarkFig8SweepN512(b *testing.B) {
+	var tab *stats.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig8([]int{512}, 3, 1)
+	}
+	b.ReportMetric(cellF(b, tab, 0, 3), "DASH_δ")
+}
+
 // BenchmarkFig9aIDChanges regenerates Figure 9(a) (E2): worst per-node
 // ID-change counts (all strategies stay below log₂ n).
 func BenchmarkFig9aIDChanges(b *testing.B) {

@@ -36,13 +36,15 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "which artifact to regenerate (fig8|fig9a|fig9b|fig10|thm1|thm2|ablation|sdash|batch|topo|oracle|churn|cut|all)")
-		sizes  = flag.String("sizes", "64,128,256,512", "comma-separated graph sizes")
-		trials = flag.Int("trials", 10, "random instances per cell (paper uses 30)")
-		seed   = flag.Uint64("seed", 1, "master random seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of tables")
+		fig     = flag.String("fig", "all", "which artifact to regenerate (fig8|fig9a|fig9b|fig10|thm1|thm2|ablation|sdash|batch|topo|oracle|churn|cut|all)")
+		sizes   = flag.String("sizes", "64,128,256,512", "comma-separated graph sizes")
+		trials  = flag.Int("trials", 10, "random instances per cell (paper uses 30)")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		workers = flag.Int("workers", 0, "concurrent trial workers per cell (0 = all CPUs, 1 = serial; output is identical at any value)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
 
 	ns, err := parseSizes(*sizes)
 	if err != nil {

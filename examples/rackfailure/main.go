@@ -37,7 +37,7 @@ func main() {
 			if len(rack) >= 6 {
 				break
 			}
-			rack = append(rack, u)
+			rack = append(rack, int(u))
 		}
 		s.DeleteBatchAndHeal(rack)
 		if wave%10 == 0 || s.G.NumAlive() == 0 {

@@ -66,7 +66,7 @@ func (NeighborOfMax) Next(s *core.State, r *rng.RNG) int {
 	if len(nbrs) == 0 {
 		return hub
 	}
-	return nbrs[r.Intn(len(nbrs))]
+	return int(nbrs[r.Intn(len(nbrs))])
 }
 
 // Random deletes a uniformly random alive node.
@@ -187,7 +187,7 @@ func (a *LevelAttack) downNeighbors(s *core.State, v int) []int {
 	var out []int
 	for _, u := range s.G.Neighbors(v) {
 		if a.tree.Level[u] > a.tree.Level[v] {
-			out = append(out, u)
+			out = append(out, int(u))
 		}
 	}
 	return out
@@ -222,7 +222,8 @@ func (a *LevelAttack) subtreeLeaf(s *core.State, c, v int) int {
 		if e.dist > bestDist || (e.dist == bestDist && e.node < best) {
 			best, bestDist = e.node, e.dist
 		}
-		for _, u := range s.G.Neighbors(e.node) {
+		for _, u32 := range s.G.Neighbors(e.node) {
+			u := int(u32)
 			if _, ok := seen[u]; ok {
 				continue
 			}

@@ -156,7 +156,7 @@ func TestDASHBeatsGraphHeal(t *testing.T) {
 			nbrs := s.G.Neighbors(hub)
 			x := hub
 			if len(nbrs) > 0 {
-				x = nbrs[att.Intn(len(nbrs))]
+				x = int(nbrs[att.Intn(len(nbrs))])
 			}
 			s.DeleteAndHeal(x, h)
 			if d := s.MaxDelta(); d > maxDelta {

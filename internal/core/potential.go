@@ -48,7 +48,7 @@ func (s *State) Rem(v int) int64 {
 	total := s.ComponentWeight(v)
 	var maxSub int64
 	for _, u := range s.Gp.Neighbors(v) {
-		if w := s.SubtreeWeight(u, v); w > maxSub {
+		if w := s.SubtreeWeight(int(u), v); w > maxSub {
 			maxSub = w
 		}
 	}
@@ -64,7 +64,8 @@ func (s *State) gpComponent(src, excluded int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range s.Gp.Neighbors(v) {
+		for _, u32 := range s.Gp.Neighbors(v) {
+			u := int(u32)
 			if u == excluded {
 				continue
 			}

@@ -71,7 +71,7 @@ func TestSDASHSurrogationKeepsMaxDelta(t *testing.T) {
 			x := s.G.MaxDegreeNode()
 			pre := make(map[int]int)
 			for _, v := range s.G.Neighbors(x) {
-				pre[v] = s.Delta(v)
+				pre[int(v)] = s.Delta(int(v))
 			}
 			d := s.Remove(x)
 			rt := s.ReconnectSet(d)

@@ -122,9 +122,14 @@ func (s *State) InitDegree(v int) int { return s.initDeg[v] }
 func (s *State) Delta(v int) int { return s.G.Degree(v) - s.initDeg[v] }
 
 // MaxDelta returns the largest δ over alive nodes (0 for an empty graph).
+// It runs once per simulated round, so it scans indices directly instead
+// of materializing the alive list.
 func (s *State) MaxDelta() int {
 	maxD := 0
-	for _, v := range s.G.AliveNodes() {
+	for v, n := 0, s.G.N(); v < n; v++ {
+		if !s.G.Alive(v) {
+			continue
+		}
 		if d := s.Delta(v); d > maxD {
 			maxD = d
 		}
@@ -210,11 +215,13 @@ func (s *State) Remove(x int) Deletion {
 	if !s.G.Alive(x) {
 		panic(fmt.Sprintf("core: removing dead node %d", x))
 	}
+	// The snapshot must outlive the removal below, so copy out of the
+	// graph's internal adjacency (Neighbors is only a view).
 	d := Deletion{
 		Node:   x,
 		CurID:  s.curID[x],
-		GNbrs:  s.G.Neighbors(x),
-		GpNbrs: s.Gp.Neighbors(x),
+		GNbrs:  s.G.AppendNeighbors(nil, x),
+		GpNbrs: s.Gp.AppendNeighbors(nil, x),
 	}
 	// Weight hand-off (Lemma 2/5 bookkeeping): prefer a G′ neighbor so
 	// the weight stays in x's tree; else any G neighbor; else drop.
@@ -414,8 +421,8 @@ func (s *State) PropagateMinID(rt []int) {
 		}
 		for _, u := range s.Gp.Neighbors(w.v) {
 			if s.curID[u] > minID {
-				s.adopt(u, minID)
-				queue = append(queue, wave{u, w.depth + 1})
+				s.adopt(int(u), minID)
+				queue = append(queue, wave{int(u), w.depth + 1})
 			}
 		}
 	}

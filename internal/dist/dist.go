@@ -162,11 +162,12 @@ func assemble(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
 			heals:        make(map[int]*healState),
 			floodRound:   -1,
 		}
-		for _, u := range g.Neighbors(v) {
+		for _, u32 := range g.Neighbors(v) {
+			u := int(u32)
 			uNbrs := g.Neighbors(u)
 			non := make(map[int]uint64, len(uNbrs))
 			for _, w := range uNbrs {
-				non[w] = ids[w]
+				non[int(w)] = ids[w]
 			}
 			nd.gNbrs[u] = &nbrInfo{initID: ids[u], curID: ids[u], nbrs: non}
 		}

@@ -1,0 +1,45 @@
+package experiments
+
+// The parallel trial pool must be invisible in the output: every table is
+// required to be bit-identical whether trials run on one worker or many
+// (trial seeds are pre-split in order; results merge by trial index).
+
+import (
+	"testing"
+)
+
+func TestParallelSweepDeterminism(t *testing.T) {
+	sizes := []int{24, 48}
+	const trials, seed = 4, 11
+	defer func(old int) { Workers = old }(Workers)
+
+	type tables struct{ fig8, fig9a, fig9b, batch string }
+	generate := func(workers int) tables {
+		Workers = workers
+		f8 := Fig8(sizes, trials, seed)
+		a, b := Fig9(sizes, trials, seed)
+		bt := Batch(24, []int{1, 3}, trials, seed)
+		return tables{f8.String(), a.String(), b.String(), bt.String()}
+	}
+
+	serial := generate(1)
+	for _, workers := range []int{2, 8} {
+		parallel := generate(workers)
+		if parallel.fig8 != serial.fig8 {
+			t.Errorf("Fig8 differs at %d workers:\nserial:\n%s\nparallel:\n%s",
+				workers, serial.fig8, parallel.fig8)
+		}
+		if parallel.fig9a != serial.fig9a {
+			t.Errorf("Fig9(a) differs at %d workers:\nserial:\n%s\nparallel:\n%s",
+				workers, serial.fig9a, parallel.fig9a)
+		}
+		if parallel.fig9b != serial.fig9b {
+			t.Errorf("Fig9(b) differs at %d workers:\nserial:\n%s\nparallel:\n%s",
+				workers, serial.fig9b, parallel.fig9b)
+		}
+		if parallel.batch != serial.batch {
+			t.Errorf("Batch differs at %d workers:\nserial:\n%s\nparallel:\n%s",
+				workers, serial.batch, parallel.batch)
+		}
+	}
+}

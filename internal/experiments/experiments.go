@@ -22,6 +22,15 @@ import (
 	"repro/internal/stats"
 )
 
+// Workers is the per-cell trial parallelism every experiment in this
+// package hands to sim.Config.Workers: 0 fans out across every CPU, 1
+// forces the serial path. Tables are bit-identical at any value — trial
+// seeds are pre-split in order and results merged by trial index (see
+// sim.ForEachTrial) — so this is purely a wall-clock knob (cmd/figures
+// exposes it as -workers). Set it before generating tables; it must not
+// be written while experiments are running.
+var Workers = 0
+
 // BAEdges is the Barabási–Albert attachment parameter used by all
 // power-law workloads (each new node brings this many edges).
 const BAEdges = 3
@@ -73,6 +82,7 @@ func Comparison(healers []core.Healer, newAttack func() attack.Strategy,
 				// Distinct deterministic seed per cell.
 				Seed:         seed + uint64(hi)*1_000_003 + uint64(ni)*7919,
 				StretchEvery: stretchEvery,
+				Workers:      Workers,
 			}
 			s.Cells = append(s.Cells, Cell{N: n, Result: sim.Run(cfg)})
 		}
@@ -203,6 +213,7 @@ func Thm2(m int, depths []int, seed uint64) *stats.Table {
 				Healer:    h,
 				Trials:    1, // the attack and tree are deterministic
 				Seed:      seed,
+				Workers:   Workers,
 			}
 			return sim.Run(cfg).Trials[0].PeakMaxDelta
 		}
@@ -228,6 +239,7 @@ func Thm1(sizes []int, trials int, seed uint64) *stats.Table {
 			Healer:    core.DASH{},
 			Trials:    trials,
 			Seed:      seed + uint64(ni)*104729,
+			Workers:   Workers,
 		}
 		res := sim.Run(cfg)
 		// The message bound depends on a node's initial degree; use the
@@ -271,6 +283,7 @@ func Ablation(sizes []int, trials int, seed uint64) *stats.Table {
 				Healer:    h,
 				Trials:    trials,
 				Seed:      seed + uint64(ni)*31 + uint64(hi)*7,
+				Workers:   Workers,
 			}
 			row = append(row, sim.Run(cfg).PeakMaxDelta.Mean)
 		}
@@ -288,7 +301,7 @@ func SDASHBehaviour(sizes []int, trials int, seed uint64) *stats.Table {
 			"SDASH stretch", "DASH stretch"},
 	}
 	for ni, n := range sizes {
-		n := n
+
 		run := func(h core.Healer) sim.Result {
 			cfg := sim.Config{
 				NewGraph:     BAGraph(n),
@@ -296,6 +309,7 @@ func SDASHBehaviour(sizes []int, trials int, seed uint64) *stats.Table {
 				Healer:       h,
 				Trials:       trials,
 				Seed:         seed + uint64(ni)*613,
+				Workers:      Workers,
 				StretchEvery: stretchCadence([]int{n}),
 			}
 			return sim.Run(cfg)
@@ -326,14 +340,14 @@ func Batch(n int, batchSizes []int, trials int, seed uint64) *stats.Table {
 		Header: []string{"batch", "peak δ", "always connected", "2*log2(n)"},
 	}
 	for _, k := range batchSizes {
-		peaks := make([]float64, 0, trials)
-		connected := true
+		peaks := make([]float64, trials)
+		conns := make([]bool, trials)
 		master := rng.New(seed + uint64(k))
-		for trial := 0; trial < trials; trial++ {
-			tr := master.Split()
+		sim.ForEachTrial(trials, master, Workers, func(trial int, tr *rng.RNG) {
 			s := core.NewState(gen.BarabasiAlbert(n, BAEdges, tr.Split()), tr.Split())
 			att := tr.Split()
 			peak := 0
+			connected := true
 			for s.G.NumAlive() > 0 {
 				alive := s.G.AliveNodes()
 				size := k
@@ -352,7 +366,11 @@ func Batch(n int, batchSizes []int, trials int, seed uint64) *stats.Table {
 					connected = false
 				}
 			}
-			peaks = append(peaks, float64(peak))
+			peaks[trial], conns[trial] = float64(peak), connected
+		})
+		connected := true
+		for _, c := range conns {
+			connected = connected && c
 		}
 		t.AddRow(k, stats.Mean(peaks), connected, 2*math.Log2(float64(n)))
 	}

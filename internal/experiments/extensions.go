@@ -45,6 +45,7 @@ func Topologies(n, trials int, seed uint64) *stats.Table {
 			Healer:            core.DASH{},
 			Trials:            trials,
 			Seed:              seed + uint64(fi)*101,
+			Workers:           Workers,
 			TrackConnectivity: true,
 		}
 		res := sim.Run(cfg)
@@ -93,6 +94,7 @@ func OracleAblation(sizes []int, trials int, seed uint64) *stats.Table {
 				Healer:    h,
 				Trials:    trials,
 				Seed:      seed + uint64(ni)*17,
+				Workers:   Workers,
 			})
 		}
 		d := run(core.DASH{})
@@ -112,17 +114,17 @@ func Churn(n, steps, trials int, seed uint64) *stats.Table {
 		Header: []string{"join every", "steps", "peak δ", "always connected", "final alive"},
 	}
 	for _, je := range []int{0, 4, 2} {
-		peaks := make([]float64, 0, trials)
-		finals := make([]float64, 0, trials)
-		connected := true
+		peaks := make([]float64, trials)
+		finals := make([]float64, trials)
+		conns := make([]bool, trials)
 		master := rng.New(seed + uint64(je))
-		for trial := 0; trial < trials; trial++ {
-			tr := master.Split()
+		sim.ForEachTrial(trials, master, Workers, func(trial int, tr *rng.RNG) {
 			s := core.NewState(gen.BarabasiAlbert(n, BAEdges, tr.Split()), tr.Split())
 			attackR := tr.Split()
 			joinR := tr.Split()
 			att := attack.NeighborOfMax{}
 			peak := 0
+			connected := true
 			for step := 1; step <= steps; step++ {
 				alive := s.G.AliveNodes()
 				if len(alive) == 0 {
@@ -149,8 +151,13 @@ func Churn(n, steps, trials int, seed uint64) *stats.Table {
 					connected = false
 				}
 			}
-			peaks = append(peaks, float64(peak))
-			finals = append(finals, float64(s.G.NumAlive()))
+			peaks[trial] = float64(peak)
+			finals[trial] = float64(s.G.NumAlive())
+			conns[trial] = connected
+		})
+		connected := true
+		for _, c := range conns {
+			connected = connected && c
 		}
 		t.AddRow(je, steps, stats.Mean(peaks), connected, stats.Mean(finals))
 	}
@@ -166,20 +173,23 @@ func Latency(sizes []int, trials int, seed uint64) *stats.Table {
 		Header: []string{"n", "amortized depth", "worst wave", "log2(n)"},
 	}
 	for ni, n := range sizes {
-		amortized := make([]float64, 0, trials)
-		worst := 0.0
+		amortized := make([]float64, trials)
+		worsts := make([]float64, trials)
 		master := rng.New(seed + uint64(ni)*7)
-		for trial := 0; trial < trials; trial++ {
-			tr := master.Split()
+		sim.ForEachTrial(trials, master, Workers, func(trial int, tr *rng.RNG) {
 			s := core.NewState(gen.BarabasiAlbert(n, BAEdges, tr.Split()), tr.Split())
 			att := attack.NeighborOfMax{}
 			attR := tr.Split()
 			for s.G.NumAlive() > 0 {
 				s.DeleteAndHeal(att.Next(s, attR), core.DASH{})
 			}
-			amortized = append(amortized, s.AmortizedFloodDepth())
-			if d := float64(s.MaxFloodDepth()); d > worst {
-				worst = d
+			amortized[trial] = s.AmortizedFloodDepth()
+			worsts[trial] = float64(s.MaxFloodDepth())
+		})
+		worst := 0.0
+		for _, w := range worsts {
+			if w > worst {
+				worst = w
 			}
 		}
 		t.AddRow(n, stats.Mean(amortized), worst, math.Log2(float64(n)))
@@ -210,6 +220,7 @@ func CutVertexStress(sizes []int, trials int, seed uint64) *stats.Table {
 				Healer:            h,
 				Trials:            trials,
 				Seed:              seed + uint64(ni)*13 + uint64(hi),
+				Workers:           Workers,
 				TrackConnectivity: true,
 			})
 			cell := res.PeakMaxDelta.Mean

@@ -1,0 +1,112 @@
+package graph_test
+
+// BenchmarkGraphOps is the graph-layer micro-suite: it pins the cost of
+// the primitive operations (AddEdge, RemoveEdge, Neighbors, BFS,
+// AllDistances, Diameter) at several sizes so regressions in the
+// adjacency representation are visible independent of the end-to-end
+// figure benchmarks in the repository root.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+var benchNs = []int{256, 1024, 4096}
+
+// benchBA memoizes one BA instance per size so every benchmark in the
+// suite measures against the identical topology.
+var benchBA = map[int]*graph.Graph{}
+
+func ba(n int) *graph.Graph {
+	if g, ok := benchBA[n]; ok {
+		return g
+	}
+	g := gen.BarabasiAlbert(n, 3, rng.New(uint64(n)))
+	benchBA[n] = g
+	return g
+}
+
+func BenchmarkGraphOpsAddRemoveEdge(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := ba(n).Clone()
+			r := rng.New(7)
+			pairs := make([][2]int, 4096)
+			for i := range pairs {
+				u, v := r.Intn(n), r.Intn(n)
+				if u == v {
+					v = (v + 1) % n
+				}
+				pairs[i] = [2]int{u, v}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if g.AddEdge(p[0], p[1]) {
+					g.RemoveEdge(p[0], p[1])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGraphOpsNeighbors(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := ba(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			sum := 0
+			for i := 0; i < b.N; i++ {
+				for _, u := range g.Neighbors(i % n) {
+					sum += int(u)
+				}
+			}
+			sink = sum
+		})
+	}
+}
+
+func BenchmarkGraphOpsBFS(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := ba(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = g.BFS(i % n)
+			}
+		})
+	}
+}
+
+func BenchmarkGraphOpsAllDistances(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := ba(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = g.AllDistances()
+			}
+		})
+	}
+}
+
+func BenchmarkGraphOpsDiameter(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := ba(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = g.Diameter()
+			}
+		})
+	}
+}
+
+var sink int

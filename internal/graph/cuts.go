@@ -22,7 +22,7 @@ func (g *Graph) ArticulationPoints() []int {
 
 	type frame struct {
 		v    int
-		nbrs []int
+		nbrs []int32
 		next int
 	}
 	for root := 0; root < n; root++ {
@@ -36,7 +36,7 @@ func (g *Graph) ArticulationPoints() []int {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			if f.next < len(f.nbrs) {
-				u := f.nbrs[f.next]
+				u := int(f.nbrs[f.next])
 				f.next++
 				if disc[u] == 0 {
 					parent[u] = f.v
@@ -90,7 +90,7 @@ func (g *Graph) Bridges() [][2]int {
 
 	type frame struct {
 		v    int
-		nbrs []int
+		nbrs []int32
 		next int
 	}
 	for root := 0; root < n; root++ {
@@ -103,7 +103,7 @@ func (g *Graph) Bridges() [][2]int {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			if f.next < len(f.nbrs) {
-				u := f.nbrs[f.next]
+				u := int(f.nbrs[f.next])
 				f.next++
 				if disc[u] == 0 {
 					parent[u] = f.v

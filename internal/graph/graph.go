@@ -7,18 +7,25 @@
 // nothing is ever re-inserted) and keeps per-node bookkeeping (initial
 // degree, IDs, δ) stable across a run.
 //
-// All accessors that return node collections return them in sorted order so
-// that no map-iteration nondeterminism ever leaks into simulation behavior.
+// Adjacency is stored CSR-style as one sorted []int32 per node, not as
+// hash maps: Neighbors hands out the slice itself (zero allocation, zero
+// sorting, deterministic iteration by construction), HasEdge is a binary
+// search, and insertion keeps the list sorted with an O(degree) memmove —
+// cheap at the degree bounds the paper's healers guarantee. All accessors
+// that return node collections return them in sorted order so that no
+// nondeterminism ever leaks into simulation behavior.
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+
+	"repro/internal/par"
 )
 
 // Graph is a dynamic undirected graph over nodes 0..N-1.
 type Graph struct {
-	adj   []map[int]struct{}
+	adj   [][]int32 // sorted neighbor lists; views escape via Neighbors
 	alive []bool
 	nAliv int
 	nEdge int
@@ -30,12 +37,11 @@ func New(n int) *Graph {
 		panic("graph: negative size")
 	}
 	g := &Graph{
-		adj:   make([]map[int]struct{}, n),
+		adj:   make([][]int32, n),
 		alive: make([]bool, n),
 		nAliv: n,
 	}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]struct{})
+	for i := range g.alive {
 		g.alive[i] = true
 	}
 	return g
@@ -47,7 +53,7 @@ func (g *Graph) N() int { return len(g.adj) }
 // AddNode appends a fresh, alive, isolated node and returns its index.
 // Supports churn workloads where the network grows during an attack.
 func (g *Graph) AddNode() int {
-	g.adj = append(g.adj, make(map[int]struct{}))
+	g.adj = append(g.adj, nil)
 	g.alive = append(g.alive, true)
 	g.nAliv++
 	return len(g.adj) - 1
@@ -71,6 +77,41 @@ func (g *Graph) checkAlive(v int) {
 	}
 }
 
+// search returns the insertion position of x in the sorted list s and
+// whether x is already present.
+func search(s []int32, x int32) (int, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && s[lo] == x
+}
+
+// insertArc adds v to u's sorted neighbor list at position i (the
+// insertion point a prior search returned); v must not be present.
+func (g *Graph) insertArc(u, v, i int) {
+	s := append(g.adj[u], 0)
+	copy(s[i+1:], s[i:])
+	s[i] = int32(v)
+	g.adj[u] = s
+}
+
+// removeArc deletes v from u's sorted neighbor list if present.
+func (g *Graph) removeArc(u, v int) bool {
+	s := g.adj[u]
+	i, ok := search(s, int32(v))
+	if !ok {
+		return false
+	}
+	g.adj[u] = append(s[:i], s[i+1:]...)
+	return true
+}
+
 // AddEdge inserts the undirected edge (u,v) and reports whether it was
 // newly added (false if it already existed). It panics on self-loops or
 // dead endpoints: both indicate simulation bugs we want to fail loudly on.
@@ -80,11 +121,13 @@ func (g *Graph) AddEdge(u, v int) bool {
 	}
 	g.checkAlive(u)
 	g.checkAlive(v)
-	if _, ok := g.adj[u][v]; ok {
+	iu, ok := search(g.adj[u], int32(v))
+	if ok {
 		return false
 	}
-	g.adj[u][v] = struct{}{}
-	g.adj[v][u] = struct{}{}
+	g.insertArc(u, v, iu)
+	iv, _ := search(g.adj[v], int32(u))
+	g.insertArc(v, u, iv)
 	g.nEdge++
 	return true
 }
@@ -95,11 +138,10 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
 		return false
 	}
-	if _, ok := g.adj[u][v]; !ok {
+	if !g.removeArc(u, v) {
 		return false
 	}
-	delete(g.adj[u], v)
-	delete(g.adj[v], u)
+	g.removeArc(v, u)
 	g.nEdge--
 	return true
 }
@@ -109,7 +151,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= len(g.adj) {
 		return false
 	}
-	_, ok := g.adj[u][v]
+	_, ok := search(g.adj[u], int32(v))
 	return ok
 }
 
@@ -117,11 +159,11 @@ func (g *Graph) HasEdge(u, v int) bool {
 // already dead.
 func (g *Graph) RemoveNode(v int) {
 	g.checkAlive(v)
-	for u := range g.adj[v] {
-		delete(g.adj[u], v)
+	for _, u := range g.adj[v] {
+		g.removeArc(int(u), v)
 		g.nEdge--
 	}
-	g.adj[v] = make(map[int]struct{})
+	g.adj[v] = nil
 	g.alive[v] = false
 	g.nAliv--
 }
@@ -134,18 +176,28 @@ func (g *Graph) Degree(v int) int {
 	return len(g.adj[v])
 }
 
-// Neighbors returns the sorted neighbors of v. The slice is freshly
-// allocated; callers may keep or mutate it.
-func (g *Graph) Neighbors(v int) []int {
+// Neighbors returns v's neighbors in sorted order as a read-only view of
+// the internal adjacency list: no allocation, no sorting. The view is
+// invalidated by the next mutation touching v; callers that need a
+// durable or mutable copy use AppendNeighbors.
+func (g *Graph) Neighbors(v int) []int32 {
 	if v < 0 || v >= len(g.adj) {
 		return nil
 	}
-	out := make([]int, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		out = append(out, u)
+	return g.adj[v]
+}
+
+// AppendNeighbors appends v's sorted neighbors to dst as ints and returns
+// the extended slice — the copying counterpart to Neighbors for callers
+// that keep the result across mutations (e.g. deletion snapshots).
+func (g *Graph) AppendNeighbors(dst []int, v int) []int {
+	if v < 0 || v >= len(g.adj) {
+		return dst
 	}
-	sort.Ints(out)
-	return out
+	for _, u := range g.adj[v] {
+		dst = append(dst, int(u))
+	}
+	return dst
 }
 
 // AliveNodes returns the sorted list of alive nodes.
@@ -159,37 +211,31 @@ func (g *Graph) AliveNodes() []int {
 	return out
 }
 
-// Edges returns all edges (u < v) in lexicographic order.
+// Edges returns all edges (u < v) in lexicographic order — free of
+// sorting, since every adjacency list is itself sorted.
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.nEdge)
 	for u := range g.adj {
-		for v := range g.adj[u] {
-			if u < v {
-				out = append(out, [2]int{u, v})
+		for _, v := range g.adj[u] {
+			if int(v) > u {
+				out = append(out, [2]int{u, int(v)})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
 	return out
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		adj:   make([]map[int]struct{}, len(g.adj)),
+		adj:   make([][]int32, len(g.adj)),
 		alive: append([]bool(nil), g.alive...),
 		nAliv: g.nAliv,
 		nEdge: g.nEdge,
 	}
 	for v, nbrs := range g.adj {
-		c.adj[v] = make(map[int]struct{}, len(nbrs))
-		for u := range nbrs {
-			c.adj[v][u] = struct{}{}
+		if len(nbrs) > 0 {
+			c.adj[v] = append([]int32(nil), nbrs...)
 		}
 	}
 	return c
@@ -204,8 +250,8 @@ func (g *Graph) Equal(h *Graph) bool {
 		if g.alive[v] != h.alive[v] || len(g.adj[v]) != len(h.adj[v]) {
 			return false
 		}
-		for u := range g.adj[v] {
-			if _, ok := h.adj[v][u]; !ok {
+		for i, u := range g.adj[v] {
+			if h.adj[v][i] != u {
 				return false
 			}
 		}
@@ -214,28 +260,43 @@ func (g *Graph) Equal(h *Graph) bool {
 }
 
 // BFS returns the hop distance from src to every node reachable through
-// alive nodes; unreachable (and dead) nodes get -1.
-func (g *Graph) BFS(src int) []int {
-	dist := make([]int, len(g.adj))
+// alive nodes; unreachable (and dead) nodes get -1. It allocates a fresh
+// distance slice; hot paths use BFSInto with reused scratch instead.
+func (g *Graph) BFS(src int) []int32 {
+	dist := make([]int32, len(g.adj))
+	g.BFSInto(src, dist, nil)
+	return dist
+}
+
+// BFSInto computes the hop distances from src into dist, whose length
+// must be g.N(): reachable nodes get their distance, unreachable (and
+// dead) nodes -1. queue is scratch space for the traversal frontier; the
+// possibly-regrown queue is returned so callers can reuse it across
+// calls, making repeated BFS allocation-free.
+func (g *Graph) BFSInto(src int, dist []int32, queue []int32) []int32 {
+	if len(dist) != len(g.adj) {
+		panic(fmt.Sprintf("graph: BFSInto dist length %d, want %d", len(dist), len(g.adj)))
+	}
 	for i := range dist {
 		dist[i] = -1
 	}
+	queue = queue[:0]
 	if !g.Alive(src) {
-		return dist
+		return queue
 	}
 	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for u := range g.adj[v] {
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v] + 1
+		for _, u := range g.adj[v] {
 			if dist[u] == -1 {
-				dist[u] = dist[v] + 1
+				dist[u] = d
 				queue = append(queue, u)
 			}
 		}
 	}
-	return dist
+	return queue
 }
 
 // ComponentLabels assigns each alive node a component label (the smallest
@@ -245,16 +306,16 @@ func (g *Graph) ComponentLabels() []int {
 	for i := range label {
 		label[i] = -1
 	}
+	var queue []int32
 	for v := range g.adj {
 		if !g.alive[v] || label[v] != -1 {
 			continue
 		}
 		label[v] = v
-		queue := []int{v}
-		for len(queue) > 0 {
-			x := queue[0]
-			queue = queue[1:]
-			for u := range g.adj[x] {
+		queue = append(queue[:0], int32(v))
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			for _, u := range g.adj[x] {
 				if label[u] == -1 {
 					label[u] = v
 					queue = append(queue, u)
@@ -303,8 +364,8 @@ func (g *Graph) IsSubgraphOf(h *Graph) bool {
 		if !h.Alive(v) {
 			return false
 		}
-		for u := range g.adj[v] {
-			if !h.HasEdge(v, u) {
+		for _, u := range g.adj[v] {
+			if !h.HasEdge(v, int(u)) {
 				return false
 			}
 		}
@@ -336,42 +397,94 @@ func (g *Graph) MaxDegree() int {
 	return g.Degree(v)
 }
 
+// SweepWorkers overrides the fan-out of the all-sources sweeps
+// (AllDistances, Diameter): 0 means runtime.NumCPU(). The result of a
+// sweep is identical at any setting; this is a wall-clock (and test)
+// knob only. It must not be changed while a sweep is running.
+var SweepWorkers = 0
+
+// sourceWorkers returns how many workers an n-source sweep should fan out
+// across: every CPU (or SweepWorkers), but never more than the sources.
+func sourceWorkers(n int) int {
+	w := SweepWorkers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // AllDistances computes all-pairs shortest-path distances between alive
-// nodes by running a BFS from every alive node. Entry [u][v] is -1 when u
-// or v is dead or unreachable. The result is O(n²) int32s; callers are
+// nodes by running a BFS from every alive node, fanned out across all
+// CPUs (row v is owned by exactly one worker, so the result is identical
+// at any parallelism). Entry [u][v] is -1 when u or v is dead or
+// unreachable. The rows share one flat n² int32 block; callers are
 // expected to bound n.
 func (g *Graph) AllDistances() [][]int32 {
+	return g.AllDistancesWorkers(0)
+}
+
+// AllDistancesWorkers is AllDistances with an explicit fan-out:
+// workers <= 0 uses SweepWorkers/NumCPU, 1 runs serially. Callers that
+// are themselves inside a worker pool (e.g. parallel experiment trials)
+// pass 1 to avoid oversubscribing the machine workers² ways.
+func (g *Graph) AllDistancesWorkers(workers int) [][]int32 {
 	n := len(g.adj)
 	out := make([][]int32, n)
-	for v := range out {
-		row := make([]int32, n)
-		for i := range row {
-			row[i] = -1
-		}
-		out[v] = row
-		if !g.alive[v] {
-			continue
-		}
-		for u, d := range g.BFS(v) {
-			out[v][u] = int32(d)
-		}
+	if n == 0 {
+		return out
 	}
+	flat := make([]int32, n*n)
+	for v := range out {
+		out[v] = flat[v*n : (v+1)*n : (v+1)*n]
+	}
+	if workers <= 0 {
+		workers = sourceWorkers(n)
+	} else if workers > n {
+		workers = n
+	}
+	queues := make([][]int32, workers)
+	par.Do(n, workers, func(w, v int) {
+		queues[w] = g.BFSInto(v, out[v], queues[w])
+	})
 	return out
 }
 
 // Diameter returns the largest finite pairwise distance among alive nodes
-// (0 for empty or singleton graphs). Disconnected pairs are ignored.
+// (0 for empty or singleton graphs). Disconnected pairs are ignored. The
+// per-source BFS sweep reuses one distance/queue scratch per worker and
+// fans out across all CPUs; max-merging worker results is
+// order-independent, so the answer is deterministic at any parallelism.
 func (g *Graph) Diameter() int {
-	maxD := 0
-	for v := range g.adj {
+	n := len(g.adj)
+	if n == 0 {
+		return 0
+	}
+	workers := sourceWorkers(n)
+	maxes := make([]int32, workers)
+	dists := make([][]int32, workers)
+	queues := make([][]int32, workers)
+	par.Do(n, workers, func(w, v int) {
 		if !g.alive[v] {
-			continue
+			return
 		}
-		for _, d := range g.BFS(v) {
-			if d > maxD {
-				maxD = d
+		if dists[w] == nil {
+			dists[w] = make([]int32, n)
+		}
+		queues[w] = g.BFSInto(v, dists[w], queues[w])
+		for _, d := range dists[w] {
+			if d > maxes[w] {
+				maxes[w] = d
 			}
 		}
+	})
+	maxD := int32(0)
+	for _, m := range maxes {
+		if m > maxD {
+			maxD = m
+		}
 	}
-	return maxD
+	return int(maxD)
 }

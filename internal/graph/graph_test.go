@@ -122,7 +122,7 @@ func TestNeighborsSorted(t *testing.T) {
 	g.AddEdge(2, 0)
 	g.AddEdge(2, 3)
 	got := g.Neighbors(2)
-	want := []int{0, 3, 4}
+	want := []int32{0, 3, 4}
 	if len(got) != len(want) {
 		t.Fatalf("Neighbors = %v, want %v", got, want)
 	}
@@ -130,6 +130,10 @@ func TestNeighborsSorted(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("Neighbors = %v, want %v", got, want)
 		}
+	}
+	cp := g.AppendNeighbors(nil, 2)
+	if len(cp) != 3 || cp[0] != 0 || cp[1] != 3 || cp[2] != 4 {
+		t.Fatalf("AppendNeighbors = %v, want [0 3 4]", cp)
 	}
 	if g.Neighbors(-1) != nil {
 		t.Error("out-of-range Neighbors should be nil")
@@ -155,7 +159,7 @@ func TestBFSAndConnectivity(t *testing.T) {
 	g := path(t, 5)
 	d := g.BFS(0)
 	for i := 0; i < 5; i++ {
-		if d[i] != i {
+		if d[i] != int32(i) {
 			t.Errorf("dist[%d] = %d, want %d", i, d[i], i)
 		}
 	}
@@ -357,7 +361,7 @@ func TestBFSTreeIsForestProperty(t *testing.T) {
 		for v := 1; v < n; v++ {
 			for _, u := range g.Neighbors(v) {
 				if dist[u] == dist[v]-1 {
-					tree.AddEdge(u, v)
+					tree.AddEdge(int(u), v)
 					break
 				}
 			}

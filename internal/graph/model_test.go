@@ -1,0 +1,224 @@
+package graph
+
+// Model-based property test for the sorted-slice adjacency
+// representation: a deliberately naive map-of-maps reference model is
+// driven through the same randomized operation sequences (AddEdge,
+// RemoveEdge, RemoveNode, AddNode, including operations aimed at dead
+// nodes) and the Graph must agree with it on every observable accessor
+// after every step.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refGraph is the reference model: map adjacency, no cleverness.
+type refGraph struct {
+	adj   []map[int]bool
+	alive []bool
+}
+
+func newRef(n int) *refGraph {
+	r := &refGraph{adj: make([]map[int]bool, n), alive: make([]bool, n)}
+	for i := range r.adj {
+		r.adj[i] = map[int]bool{}
+		r.alive[i] = true
+	}
+	return r
+}
+
+func (r *refGraph) addNode() int {
+	r.adj = append(r.adj, map[int]bool{})
+	r.alive = append(r.alive, true)
+	return len(r.adj) - 1
+}
+
+func (r *refGraph) addEdge(u, v int) bool {
+	if r.adj[u][v] {
+		return false
+	}
+	r.adj[u][v], r.adj[v][u] = true, true
+	return true
+}
+
+func (r *refGraph) removeEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(r.adj) || v >= len(r.adj) || !r.adj[u][v] {
+		return false
+	}
+	delete(r.adj[u], v)
+	delete(r.adj[v], u)
+	return true
+}
+
+func (r *refGraph) removeNode(v int) {
+	for u := range r.adj[v] {
+		delete(r.adj[u], v)
+	}
+	r.adj[v] = map[int]bool{}
+	r.alive[v] = false
+}
+
+func (r *refGraph) numEdges() int {
+	sum := 0
+	for _, nbrs := range r.adj {
+		sum += len(nbrs)
+	}
+	return sum / 2
+}
+
+// agree fails the test on the first observable divergence between g and r.
+func agree(t *testing.T, step int, g *Graph, r *refGraph) {
+	t.Helper()
+	if g.N() != len(r.adj) {
+		t.Fatalf("step %d: N = %d, want %d", step, g.N(), len(r.adj))
+	}
+	if g.NumEdges() != r.numEdges() {
+		t.Fatalf("step %d: NumEdges = %d, want %d", step, g.NumEdges(), r.numEdges())
+	}
+	nAlive := 0
+	for v := range r.adj {
+		if r.alive[v] {
+			nAlive++
+		}
+		if g.Alive(v) != r.alive[v] {
+			t.Fatalf("step %d: Alive(%d) = %v, want %v", step, v, g.Alive(v), r.alive[v])
+		}
+		if g.Degree(v) != len(r.adj[v]) {
+			t.Fatalf("step %d: Degree(%d) = %d, want %d", step, v, g.Degree(v), len(r.adj[v]))
+		}
+		nbrs := g.Neighbors(v)
+		if len(nbrs) != len(r.adj[v]) {
+			t.Fatalf("step %d: Neighbors(%d) = %v, want the %d members of %v",
+				step, v, nbrs, len(r.adj[v]), r.adj[v])
+		}
+		for i, u := range nbrs {
+			if i > 0 && nbrs[i-1] >= u {
+				t.Fatalf("step %d: Neighbors(%d) = %v not strictly sorted", step, v, nbrs)
+			}
+			if !r.adj[v][int(u)] {
+				t.Fatalf("step %d: Neighbors(%d) contains phantom %d", step, v, u)
+			}
+			if !g.HasEdge(v, int(u)) || !g.HasEdge(int(u), v) {
+				t.Fatalf("step %d: HasEdge(%d,%d) asymmetric or false", step, v, u)
+			}
+		}
+	}
+	if g.NumAlive() != nAlive {
+		t.Fatalf("step %d: NumAlive = %d, want %d", step, g.NumAlive(), nAlive)
+	}
+	edges := g.Edges()
+	if len(edges) != r.numEdges() {
+		t.Fatalf("step %d: len(Edges) = %d, want %d", step, len(edges), r.numEdges())
+	}
+	for i, e := range edges {
+		if i > 0 && !(edges[i-1][0] < e[0] || (edges[i-1][0] == e[0] && edges[i-1][1] < e[1])) {
+			t.Fatalf("step %d: Edges not in lexicographic order at %d: %v", step, i, edges)
+		}
+		if e[0] >= e[1] || !r.adj[e[0]][e[1]] {
+			t.Fatalf("step %d: bad edge %v", step, e)
+		}
+	}
+}
+
+// mustPanic runs f and fails the test unless it panics.
+func mustPanic(t *testing.T, step int, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("step %d: %s did not panic", step, what)
+		}
+	}()
+	f()
+}
+
+func TestModelEquivalenceRandomOps(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		r := rng.New(seed)
+		n := 2 + r.Intn(24)
+		g := New(n)
+		ref := newRef(n)
+		aliveCount := func() int {
+			c := 0
+			for _, a := range ref.alive {
+				if a {
+					c++
+				}
+			}
+			return c
+		}
+		for step := 0; step < 400; step++ {
+			nn := len(ref.adj)
+			switch op := r.Intn(10); {
+			case op < 4: // AddEdge between alive nodes
+				u, v := r.Intn(nn), r.Intn(nn)
+				if u == v || !ref.alive[u] || !ref.alive[v] {
+					break
+				}
+				if got, want := g.AddEdge(u, v), ref.addEdge(u, v); got != want {
+					t.Fatalf("seed %d step %d: AddEdge(%d,%d) = %v, want %v", seed, step, u, v, got, want)
+				}
+			case op < 6: // RemoveEdge anywhere, including dead/absent pairs
+				u, v := r.Intn(nn+2)-1, r.Intn(nn+2)-1
+				if got, want := g.RemoveEdge(u, v), ref.removeEdge(u, v); got != want {
+					t.Fatalf("seed %d step %d: RemoveEdge(%d,%d) = %v, want %v", seed, step, u, v, got, want)
+				}
+			case op < 7: // RemoveNode of a random alive node
+				if aliveCount() == 0 {
+					break
+				}
+				v := r.Intn(nn)
+				if !ref.alive[v] {
+					break
+				}
+				g.RemoveNode(v)
+				ref.removeNode(v)
+			case op < 8: // AddNode (churn)
+				if got, want := g.AddNode(), ref.addNode(); got != want {
+					t.Fatalf("seed %d step %d: AddNode = %d, want %d", seed, step, got, want)
+				}
+			default: // operations on dead nodes must fail loudly
+				v := r.Intn(nn)
+				if ref.alive[v] {
+					break
+				}
+				u := r.Intn(nn)
+				if u == v || !ref.alive[u] {
+					break
+				}
+				// Re-adding an edge to a dead node panics (in either
+				// argument order), and leaves no trace behind.
+				mustPanic(t, step, "AddEdge(alive, dead)", func() { g.AddEdge(u, v) })
+				mustPanic(t, step, "AddEdge(dead, alive)", func() { g.AddEdge(v, u) })
+				mustPanic(t, step, "RemoveNode(dead)", func() { g.RemoveNode(v) })
+			}
+			agree(t, step, g, ref)
+		}
+		// Clone/Equal round-trip on the final state.
+		c := g.Clone()
+		if !g.Equal(c) || !c.Equal(g) {
+			t.Fatalf("seed %d: clone not Equal", seed)
+		}
+		agree(t, -1, c, ref)
+	}
+}
+
+// TestViewSemantics pins the documented Neighbors contract: the view is
+// shared with the graph (zero-copy), stays sorted, and AppendNeighbors
+// yields an independent durable copy.
+func TestViewSemantics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	view := g.Neighbors(0)
+	cp := g.AppendNeighbors(nil, 0)
+	g.RemoveNode(0)
+	if got := g.Neighbors(0); len(got) != 0 {
+		t.Fatalf("Neighbors after RemoveNode = %v, want empty", got)
+	}
+	if len(cp) != 3 || cp[0] != 1 || cp[1] != 2 || cp[2] != 3 {
+		t.Fatalf("durable copy corrupted by RemoveNode: %v", cp)
+	}
+	_ = view // the stale view's contents are unspecified; it must merely not alias cp
+}

@@ -1,0 +1,64 @@
+package graph
+
+// The parallel all-sources sweeps must be invisible in their results:
+// AllDistances and Diameter are required to return identical answers at
+// any worker count (each BFS row is owned by exactly one worker; the
+// diameter max-merge is order-independent). Running this under -race
+// also exercises the fan-out on single-CPU machines, where the default
+// worker count would collapse to the serial path.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	defer func(old int) { SweepWorkers = old }(SweepWorkers)
+	r := rng.New(42)
+	const n = 120
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	for i := 0; i < n/5; i++ {
+		if v := r.Intn(n); g.Alive(v) {
+			g.RemoveNode(v)
+		}
+	}
+
+	SweepWorkers = 1
+	serialDist := g.AllDistances()
+	serialDiam := g.Diameter()
+	for _, workers := range []int{2, 4, 16} {
+		SweepWorkers = 0
+		direct := g.AllDistancesWorkers(workers)
+		SweepWorkers = workers
+		dist := g.AllDistances()
+		for u := range direct {
+			for v := range direct[u] {
+				if direct[u][v] != serialDist[u][v] {
+					t.Fatalf("AllDistancesWorkers(%d)[%d][%d] = %d, serial %d",
+						workers, u, v, direct[u][v], serialDist[u][v])
+				}
+			}
+		}
+		for u := range dist {
+			for v := range dist[u] {
+				if dist[u][v] != serialDist[u][v] {
+					t.Fatalf("workers=%d: AllDistances[%d][%d] = %d, serial %d",
+						workers, u, v, dist[u][v], serialDist[u][v])
+				}
+			}
+		}
+		if diam := g.Diameter(); diam != serialDiam {
+			t.Fatalf("workers=%d: Diameter = %d, serial %d", workers, diam, serialDiam)
+		}
+	}
+}

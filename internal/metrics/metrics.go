@@ -11,15 +11,21 @@ import (
 )
 
 // Stretch measures path dilation against a snapshot of the original
-// network taken at construction time.
+// network taken at construction time. A Stretch value is not safe for
+// concurrent use: Measure reuses internal BFS scratch across calls.
 type Stretch struct {
-	base [][]int32 // original all-pairs distances
+	base  [][]int32 // original all-pairs distances
+	dist  []int32   // BFS scratch, reused across Measure calls
+	queue []int32
 }
 
 // NewStretch snapshots g's all-pairs distances. It costs O(n·m) time and
-// O(n²) memory, so callers bound n.
+// O(n²) memory, so callers bound n. The snapshot runs serially: Stretch
+// is built once per experiment trial, and trials already fan out across
+// every CPU — nesting the sweep's own fan-out inside the trial pool
+// would oversubscribe the machine without any wall-clock gain.
 func NewStretch(g *graph.Graph) *Stretch {
-	return &Stretch{base: g.AllDistances()}
+	return &Stretch{base: g.AllDistancesWorkers(1)}
 }
 
 // Result is a stretch measurement over the surviving node pairs.
@@ -39,11 +45,15 @@ func (st *Stretch) Measure(cur *graph.Graph) Result {
 	res := Result{Max: 1}
 	var sum float64
 	alive := cur.AliveNodes()
+	if len(st.dist) != cur.N() {
+		st.dist = make([]int32, cur.N()) // the graph grew (churn): regrow once
+	}
 	for _, u := range alive {
 		if u >= len(st.base) {
 			continue // joined after the snapshot: no original distance
 		}
-		du := cur.BFS(u)
+		st.queue = cur.BFSInto(u, st.dist, st.queue)
+		du := st.dist
 		for _, v := range alive {
 			if v <= u || v >= len(st.base) {
 				continue

@@ -1,0 +1,45 @@
+// Package par provides the one concurrency primitive this repository
+// needs: a deterministic fan-out of an indexed work list across a fixed
+// worker pool. Both the graph layer's all-sources BFS sweeps and the
+// experiment engine's trial loop are built on it.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs body(w, i) for every item i in 0..items-1 across workers
+// goroutines, where w identifies the worker (0..workers-1) so bodies can
+// own per-worker scratch. Items are handed out by an atomic counter;
+// bodies must write only item-owned (or worker-owned) state, which makes
+// the overall result independent of scheduling — callers get the same
+// answer at any worker count. workers is clamped to items; workers <= 1
+// runs every item inline on the caller's goroutine.
+func Do(items, workers int, body func(w, i int)) {
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= items {
+					return
+				}
+				body(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -7,14 +7,38 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
+
+// ForEachTrial runs body(i, tr) for trials 0..trials-1, fanning out
+// across a worker pool. Determinism is preserved at any parallelism: the
+// per-trial generators are split from master serially, in trial order,
+// before any worker starts, and each body invocation owns trial i alone —
+// callers store outputs by index, so merged results match the serial run
+// bit for bit. workers <= 0 uses every CPU; 1 runs inline.
+func ForEachTrial(trials int, master *rng.RNG, workers int, body func(i int, tr *rng.RNG)) {
+	rngs := make([]*rng.RNG, trials)
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > trials {
+		workers = trials
+	}
+	par.Do(trials, workers, func(_, i int) {
+		body(i, rngs[i])
+	})
+}
 
 // Config describes one experiment cell: a graph family, an adversary, a
 // healer, and the measurement plan.
@@ -46,6 +70,11 @@ type Config struct {
 	VerifyInvariants bool
 	// GpCyclesOK allows G' cycles during invariant verification.
 	GpCyclesOK bool
+	// Workers is the number of concurrent trial workers: 0 uses every
+	// CPU, 1 forces the serial path. Results are bit-identical at any
+	// worker count: each trial's RNG is pre-split from the master seed in
+	// trial order and trials write only their own result slot.
+	Workers int
 }
 
 // Trial is the outcome of one run over one random instance.
@@ -88,11 +117,10 @@ func Run(cfg Config) Result {
 	}
 	res := Result{HealerName: cfg.Healer.Name()}
 	master := rng.New(cfg.Seed)
-	for i := 0; i < trials; i++ {
-		tr := master.Split()
-		trial := runTrial(cfg, tr)
-		res.Trials = append(res.Trials, trial)
-	}
+	res.Trials = make([]Trial, trials)
+	ForEachTrial(trials, master, cfg.Workers, func(i int, tr *rng.RNG) {
+		res.Trials[i] = runTrial(cfg, tr)
+	})
 	res.AttackName = cfg.NewAttack().Name()
 	agg := func(f func(Trial) float64) stats.Summary {
 		xs := make([]float64, len(res.Trials))

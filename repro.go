@@ -6,11 +6,24 @@
 //
 // This root package is a thin facade over the implementation packages:
 //
+//	internal/graph       the dynamic-graph substrate. Adjacency is stored
+//	                     CSR-style as one sorted []int32 per node:
+//	                     Neighbors returns a zero-allocation read-only
+//	                     view (deterministic order by construction),
+//	                     HasEdge is a binary search, BFSInto runs
+//	                     breadth-first search into caller-reused scratch,
+//	                     and the all-sources sweeps (AllDistances,
+//	                     Diameter) fan out across every CPU with results
+//	                     identical at any parallelism
 //	internal/core        DASH, SDASH, healing state, MINID flood, rem(v)
 //	internal/baseline    GraphHeal, BinaryTreeHeal, LineHeal, DegreeHeal, NoHeal
 //	internal/attack      MaxNode, NeighborOfMax, Random, MinNode, LEVELATTACK
 //	internal/gen         Barabási–Albert, k-ary trees, and other topologies
-//	internal/sim         the delete→heal→measure experiment loop
+//	internal/sim         the delete→heal→measure experiment loop; trials
+//	                     fan out across Config.Workers goroutines with
+//	                     per-trial seeds pre-split in trial order, so
+//	                     aggregate tables are bit-identical to a serial
+//	                     run at any worker count
 //	internal/metrics     stretch and degree statistics
 //	internal/dist        goroutine-per-node distributed DASH/SDASH: death
 //	                     notices, locally elected leaders collecting heal
@@ -18,6 +31,8 @@
 //	                     label floods, and NoN gossip, with quiescence
 //	                     detected by an in-flight message counter
 //	internal/experiments the paper's figures/tables as table generators
+//	                     (experiments.Workers / figures -workers selects
+//	                     the per-cell trial parallelism)
 //
 // Quick start:
 //
