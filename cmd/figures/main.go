@@ -15,6 +15,7 @@
 //	churn     joins interleaved with attacks
 //	cut       articulation-point adversary stress test
 //	latency   Lemma 9: amortized ID-propagation wave depth
+//	scenarios preset mixed insert/delete/churn workloads (internal/scenario)
 //
 // Examples:
 //
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which artifact to regenerate (fig8|fig9a|fig9b|fig10|thm1|thm2|ablation|sdash|batch|topo|oracle|churn|cut|all)")
+		fig     = flag.String("fig", "all", "which artifact to regenerate (fig8|fig9a|fig9b|fig10|thm1|thm2|ablation|sdash|batch|topo|oracle|churn|cut|latency|scenarios|all)")
 		sizes   = flag.String("sizes", "64,128,256,512", "comma-separated graph sizes")
 		trials  = flag.Int("trials", 10, "random instances per cell (paper uses 30)")
 		seed    = flag.Uint64("seed", 1, "master random seed")
@@ -122,6 +123,10 @@ func main() {
 	if want("latency") {
 		matched = true
 		emit(experiments.Latency(ns, *trials, *seed))
+	}
+	if want("scenarios") {
+		matched = true
+		emit(experiments.Scenarios(ns[len(ns)-1], *trials, *seed))
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q\n", *fig)

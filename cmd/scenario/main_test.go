@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+func TestMeasureCadence(t *testing.T) {
+	for _, c := range []struct{ flag, events, want int }{
+		{5, 100, 5},  // explicit
+		{0, 100, 10}, // auto: ~10 checkpoints
+		{0, 4, 1},    // auto never drops below 1
+		{-1, 100, 0}, // final-only
+	} {
+		if got := measureCadence(c.flag, c.events); got != c.want {
+			t.Errorf("measureCadence(%d, %d) = %d, want %d", c.flag, c.events, got, c.want)
+		}
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if finite(math.Inf(1)) != -1 || finite(math.NaN()) != -1 || finite(2.5) != 2.5 {
+		t.Error("finite() sanitization wrong")
+	}
+}
+
+// TestRunSmall drives the full command path — preset resolution, healer
+// and attack-victim lookup, checkpoint JSONL, trace JSONL — at a test
+// size, then re-decodes both outputs.
+func TestRunSmall(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cp.jsonl")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	var buf bytes.Buffer
+	res, err := run(&buf, "flash-crowd", 64, "SDASH", "MaxNode", 2, 7, 1, 0,
+		32, 4, true, 1, out, tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HealerName != "SDASH" || res.VictimName != "MaxNode" || len(res.Trials) != 2 {
+		t.Fatalf("unexpected result header: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "flash-crowd") || !strings.Contains(buf.String(), "SDASH") {
+		t.Fatalf("summary missing pieces:\n%s", buf.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected several checkpoint records, got %d", len(lines))
+	}
+	trials := map[int]bool{}
+	for _, line := range lines {
+		var rec struct {
+			Trial int     `json:"trial"`
+			Event int     `json:"event"`
+			Alive int     `json:"alive"`
+			Max   float64 `json:"max_stretch"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec.Event <= 0 || rec.Alive <= 0 {
+			t.Fatalf("implausible record %q", line)
+		}
+		trials[rec.Trial] = true
+	}
+	if len(trials) != 2 {
+		t.Fatalf("records cover %d trials, want 2", len(trials))
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.DecodeJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins, removes := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindJoin:
+			joins++
+		case trace.KindRemove:
+			removes++
+		}
+	}
+	if joins == 0 || removes == 0 {
+		t.Fatalf("trace should contain joins and removes, got %d/%d", joins, removes)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(&buf, "no-such-preset", 64, "DASH", "Uniform", 1, 1, 1, 0, 0, 0, false, 1, "", ""); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if _, err := run(&buf, "disaster", 64, "NoSuchHealer", "Uniform", 1, 1, 1, 0, 0, 0, false, 1, "", ""); err == nil {
+		t.Error("unknown healer should fail")
+	}
+	if _, err := run(&buf, "disaster", 64, "DASH", "NoSuchAttack", 1, 1, 1, 0, 0, 0, false, 1, "", ""); err == nil {
+		t.Error("unknown victim policy should fail")
+	}
+}
+
+// TestDisasterPresetSmoke is the CI scale gate: the disaster preset at
+// n = 50k must run to completion, stay connected, and use sampled
+// metrics. Skipped under -short (the dedicated CI job runs it without).
+func TestDisasterPresetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario smoke is not a -short test")
+	}
+	const n = 50_000
+	var buf bytes.Buffer
+	res, err := run(&buf, "disaster", n, "DASH", "Uniform", 1, 1, 0, 0,
+		0, 0, true, 1, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trials[0]
+	if tr.Events != res.Events || tr.Exhausted {
+		t.Fatalf("smoke run incomplete: %+v", tr)
+	}
+	if !tr.AlwaysConnected {
+		t.Fatalf("disaster preset disconnected at event %d", tr.FirstBreak)
+	}
+	if !tr.SampledMetrics {
+		t.Fatal("n=50k must be over the sampling threshold")
+	}
+	if tr.Killed == 0 || tr.Deletes == 0 {
+		t.Fatalf("disaster preset performed no damage: %+v", tr)
+	}
+	var sc scenario.Schedule
+	if sc, err = scenario.Preset("disaster", n); err != nil || sc.Events() < 50 {
+		t.Fatalf("disaster preset at n=%d compiled to %d events (%v)", n, sc.Events(), err)
+	}
+}

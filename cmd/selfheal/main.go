@@ -133,7 +133,7 @@ func runTraced(newGraph func(*rng.RNG) *graph.Graph, healer repro.Healer,
 	}
 	for i := 0; i < limit && s.G.NumAlive() > 0; i++ {
 		v := att.Next(s, attR)
-		if v < 0 {
+		if v == repro.NoTarget {
 			break
 		}
 		s.DeleteAndHeal(v, healer)
@@ -164,7 +164,7 @@ func writeDOT(path string, newGraph func(*rng.RNG) *graph.Graph, healer repro.He
 	limit := int(fraction * float64(s.G.NumAlive()))
 	for i := 0; i < limit && s.G.NumAlive() > 0; i++ {
 		v := att.Next(s, attR)
-		if v < 0 {
+		if v == repro.NoTarget {
 			break
 		}
 		s.DeleteAndHeal(v, healer)

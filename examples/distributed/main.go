@@ -42,6 +42,9 @@ func main() {
 	divergences := 0
 	for round := 1; seq.G.NumAlive() > 0; round++ {
 		x := adv.Next(seq, advR)
+		if x == attack.NoTarget {
+			break
+		}
 		seq.DeleteAndHeal(x, core.DASH{})
 		nw.Kill(x) // death notices -> leader election -> heal -> quiescence
 

@@ -188,3 +188,32 @@ func TestLevelAttackPrunesToArityChildren(t *testing.T) {
 		s.DeleteAndHeal(v, baseline.GraphHeal{})
 	}
 }
+
+func TestLimitedExhaustsEarly(t *testing.T) {
+	g := gen.BarabasiAlbert(32, 2, rng.New(21))
+	s := core.NewState(g, rng.New(22))
+	att := &Limited{Inner: Random{}, Budget: 5}
+	r := rng.New(23)
+	victims := 0
+	for {
+		v := att.Next(s, r)
+		if v == NoTarget {
+			break
+		}
+		victims++
+		s.DeleteAndHeal(v, core.DASH{})
+	}
+	if victims != 5 {
+		t.Fatalf("Limited allowed %d victims, budget was 5", victims)
+	}
+	if s.G.NumAlive() != 32-5 {
+		t.Fatalf("%d alive after exhaustion, want 27", s.G.NumAlive())
+	}
+	// Exhaustion is permanent.
+	if v := att.Next(s, r); v != NoTarget {
+		t.Fatalf("exhausted Limited returned %d", v)
+	}
+	if name := att.Name(); name == "" || name == (Random{}).Name() {
+		t.Fatalf("Limited name %q should mark the budget", name)
+	}
+}

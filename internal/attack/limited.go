@@ -1,0 +1,39 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Limited wraps a Strategy with a victim budget: after Budget victims it
+// returns NoTarget forever. It models adversaries that run out of
+// resources mid-campaign and is the canonical way to exercise the
+// NoTarget paths of every harness loop — a strategy that exhausts while
+// plenty of nodes are still alive. A fresh Limited value must be used
+// per run (it is stateful even when Inner is not).
+type Limited struct {
+	Inner  Strategy
+	Budget int
+
+	used int
+}
+
+// Name implements Strategy.
+func (l *Limited) Name() string {
+	return fmt.Sprintf("%s[≤%d]", l.Inner.Name(), l.Budget)
+}
+
+// Next implements Strategy: it delegates to Inner until the budget is
+// spent, then reports NoTarget.
+func (l *Limited) Next(s *core.State, r *rng.RNG) int {
+	if l.used >= l.Budget {
+		return NoTarget
+	}
+	v := l.Inner.Next(s, r)
+	if v != NoTarget {
+		l.used++
+	}
+	return v
+}

@@ -40,6 +40,16 @@
 //     the next attack lands. KillWithTimeout turns a hung round into an
 //     error carrying a full per-node mailbox dump instead of a deadlock.
 //
+// Churn: Network.Join is the arrival-side operation (the distributed
+// counterpart of core.State.Join). The supervisor spawns the newcomer's
+// goroutine and sends each attach target a join hello carrying the
+// newcomer's initial ID and attach set; targets wire the edge, gossip
+// the gain into the NoN tables, and ack back their own label and
+// neighborhood. Join blocks on the same quiescence counter as Kill, so
+// scenario schedules can interleave arrivals and deletions freely while
+// staying bit-identical to the sequential engine (the scenario
+// differential tests in internal/scenario assert exactly that).
+//
 // Snapshot assembles a global view (topologies G and G′, labels, δ, and
 // the per-node traffic counters) by querying every live actor; it is
 // instrumentation, not part of the protocol.
@@ -85,11 +95,12 @@ type finalStats struct {
 // failures, detects quiescence, and assembles snapshots. All protocol
 // state lives inside the nodes.
 type Network struct {
-	kind  HealerKind
-	n     int
-	nodes []*node
-	track *tracker
-	wg    sync.WaitGroup
+	kind    HealerKind
+	n       int
+	nodes   []*node
+	initIDs []uint64 // immutable per slot; the supervisor's ID ledger
+	track   *tracker
+	wg      sync.WaitGroup
 
 	// testDrop, when non-nil, simulates lossy transport: a message it
 	// returns true for is counted in flight but never delivered, so the
@@ -134,6 +145,7 @@ func assemble(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
 		kind:      kind,
 		n:         n,
 		nodes:     make([]*node, n),
+		initIDs:   append([]uint64(nil), ids...),
 		track:     &tracker{},
 		dead:      make([]bool, n),
 		exited:    make([]bool, n),
@@ -243,6 +255,91 @@ func (nw *Network) KillWithTimeout(v int, timeout time.Duration) error {
 	return nil
 }
 
+// Join adds a new node attached to the distinct members of attachTo and
+// blocks until the join round has quiesced, mirroring core.State.Join:
+// the newcomer starts with δ = 0 (its initial degree is its join
+// degree), a fresh singleton G′ component, and its initial ID id as its
+// current label. It returns the new node's index (core's AddNode order:
+// one past the previous slot count). It panics on a dead attach target
+// or a wedged round.
+func (nw *Network) Join(attachTo []int, id uint64) int {
+	v, err := nw.JoinWithTimeout(attachTo, id, DefaultKillTimeout)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// JoinWithTimeout is Join with an explicit quiescence deadline.
+func (nw *Network) JoinWithTimeout(attachTo []int, id uint64, timeout time.Duration) (int, error) {
+	// Dedupe while preserving order (core.Join tolerates duplicates too:
+	// the second AddEdge is a no-op).
+	attach := make([]int, 0, len(attachTo))
+	for _, u := range attachTo {
+		dup := false
+		for _, w := range attach {
+			dup = dup || w == u
+		}
+		if !dup {
+			attach = append(attach, u)
+		}
+	}
+
+	nw.mu.Lock()
+	for _, u := range attach {
+		if u < 0 || u >= nw.n || nw.dead[u] {
+			nw.mu.Unlock()
+			panic(fmt.Sprintf("dist: joining to dead node %d", u))
+		}
+	}
+	v := nw.n
+	nw.n++
+	nw.dead = append(nw.dead, false)
+	nw.exited = append(nw.exited, false)
+	nw.deadStats = append(nw.deadStats, finalStats{})
+	nw.initIDs = append(nw.initIDs, id)
+	// attachInfo is the newcomer's neighborhood with initial IDs — the
+	// NoN payload every target receives (targets copy it before keeping
+	// it, so sharing one map across the sends is safe).
+	attachInfo := make(map[int]uint64, len(attach))
+	nd := &node{
+		nw:           nw,
+		id:           v,
+		initID:       id,
+		curID:        id,
+		initDeg:      len(attach),
+		inbox:        newMailbox(),
+		gNbrs:        make(map[int]*nbrInfo, len(attach)),
+		gpNbrs:       make(map[int]struct{}),
+		pendingHello: make(map[int]map[int]uint64),
+		heals:        make(map[int]*healState),
+		floodRound:   -1,
+	}
+	for _, u := range attach {
+		attachInfo[u] = nw.initIDs[u]
+		// The target's current label and neighborhood arrive with its
+		// msgJoinAck; until then only the immutable ID is known.
+		nd.gNbrs[u] = &nbrInfo{initID: nw.initIDs[u]}
+	}
+	nw.nodes = append(nw.nodes, nd)
+	nw.mu.Unlock()
+
+	// The append above is ordered before every future read of nw.nodes
+	// by node goroutines: the network is quiescent when Join runs (no
+	// handler is executing), and the next handler to run is woken by one
+	// of the sends below, which synchronize through the mailbox mutex.
+	nw.wg.Add(1)
+	go nd.run()
+	for _, u := range attach {
+		nw.send(u, message{kind: msgJoinReq, from: v, nonPeerInitID: id, nonNbrs: attachInfo})
+	}
+	if !nw.track.wait(timeout) {
+		return v, fmt.Errorf("dist: join round for node %d did not quiesce within %v\n%s",
+			v, timeout, nw.DumpState())
+	}
+	return v, nil
+}
+
 // recordFloodDepth notes that node v adopted (or relaxed) this round's
 // label at the given hop distance from the reconnection set. The round's
 // depth is the maximum over adopters of each adopter's minimum distance
@@ -298,7 +395,8 @@ type Snap struct {
 // queried, so Snapshot never blocks on a dead actor.
 func (nw *Network) Snapshot() *Snap {
 	nw.mu.Lock()
-	dead := make([]bool, nw.n)
+	n := nw.n
+	dead := make([]bool, n)
 	for v := range dead {
 		dead[v] = nw.dead[v] || nw.exited[v]
 	}
@@ -306,17 +404,17 @@ func (nw *Network) Snapshot() *Snap {
 	nw.mu.Unlock()
 
 	snap := &Snap{
-		G:         graph.New(nw.n),
-		Gp:        graph.New(nw.n),
-		CurID:     make([]uint64, nw.n),
-		Delta:     make([]int, nw.n),
-		MsgSent:   make([]int64, nw.n),
-		CoordMsgs: make([]int64, nw.n),
-		NoNMsgs:   make([]int64, nw.n),
+		G:         graph.New(n),
+		Gp:        graph.New(n),
+		CurID:     make([]uint64, n),
+		Delta:     make([]int, n),
+		MsgSent:   make([]int64, n),
+		CoordMsgs: make([]int64, n),
+		NoNMsgs:   make([]int64, n),
 	}
-	replies := make(chan nodeSnap, nw.n)
+	replies := make(chan nodeSnap, n)
 	live := 0
-	for v := 0; v < nw.n; v++ {
+	for v := 0; v < n; v++ {
 		if dead[v] {
 			snap.G.RemoveNode(v)
 			snap.Gp.RemoveNode(v)

@@ -54,6 +54,18 @@ const (
 	msgNoNAdd
 	msgNoNRemove
 
+	// msgJoinReq is a joining node's hello to one attach target (sent by
+	// the supervisor on the newcomer's behalf, like msgDie): it carries
+	// the newcomer's initial ID and its full attach set with initial IDs
+	// — the NoN state the target needs. The target wires the edge,
+	// gossips the gain to its other neighbors, and acks.
+	msgJoinReq
+
+	// msgJoinAck is the attach target's reply to the newcomer: its
+	// current component label and full neighborhood, completing the
+	// newcomer's NoN table entry for that neighbor.
+	msgJoinAck
+
 	// msgSnapshot asks a node to report its local state on the reply
 	// channel. Instrumentation only; not counted as protocol traffic.
 	msgSnapshot
@@ -140,6 +152,10 @@ func (k msgKind) String() string {
 		return "non-add"
 	case msgNoNRemove:
 		return "non-remove"
+	case msgJoinReq:
+		return "join-req"
+	case msgJoinAck:
+		return "join-ack"
 	case msgSnapshot:
 		return "snapshot"
 	case msgStop:

@@ -130,6 +130,13 @@ func (nd *node) handle(msg message) bool {
 		} else if hello, ok := nd.pendingHello[msg.from]; ok {
 			delete(hello, msg.nonPeer)
 		}
+	case msgJoinReq:
+		nd.onJoinReq(msg)
+	case msgJoinAck:
+		if info, ok := nd.gNbrs[msg.from]; ok {
+			info.curID = msg.label
+			info.nbrs = msg.nonNbrs // freshly built per ack; never shared
+		}
 	case msgSnapshot:
 		msg.reply <- nd.snapshot()
 	default:
@@ -366,6 +373,36 @@ func (nd *node) onAttach(msg message) {
 	nd.gpNbrs[b] = struct{}{}
 	nd.coordMsgs++
 	nd.nw.send(msg.leader, message{kind: msgAttachAck, from: nd.id, victim: msg.victim})
+}
+
+// onJoinReq wires one attach edge of a joining node (the counterpart of
+// core.State.Join, seen from an existing target): record the newcomer —
+// whose current label is its initial ID, it being a fresh singleton G′
+// component — with its neighborhood (the attach set) as the NoN entry,
+// gossip the gained edge to the other neighbors, and ack back with this
+// node's own label and full neighborhood so the newcomer's NoN table
+// entry is complete. No G′ state changes: join edges are real-network
+// edges, not healing edges.
+func (nd *node) onJoinReq(msg message) {
+	v := msg.from
+	non := make(map[int]uint64, len(msg.nonNbrs))
+	for w, id := range msg.nonNbrs {
+		non[w] = id
+	}
+	nd.gNbrs[v] = &nbrInfo{initID: msg.nonPeerInitID, curID: msg.nonPeerInitID, nbrs: non}
+	for w := range nd.gNbrs {
+		if w == v {
+			continue
+		}
+		nd.nonMsgs++
+		nd.nw.send(w, message{kind: msgNoNAdd, from: nd.id, nonPeer: v, nonPeerInitID: msg.nonPeerInitID})
+	}
+	hello := make(map[int]uint64, len(nd.gNbrs))
+	for w, info := range nd.gNbrs {
+		hello[w] = info.initID
+	}
+	nd.nonMsgs++
+	nd.nw.send(v, message{kind: msgJoinAck, from: nd.id, label: nd.curID, nonNbrs: hello})
 }
 
 func (nd *node) onAttachAck(x int) {

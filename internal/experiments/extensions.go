@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -164,6 +165,51 @@ func Churn(n, steps, trials int, seed uint64) *stats.Table {
 	return t
 }
 
+// Scenarios runs every preset workload of internal/scenario (disaster,
+// flash-crowd, sustained-churn) against a healer sweep and tabulates the
+// outcome: the mixed insert/delete/churn extension of the paper's
+// delete-only evaluation. Above the sampling threshold the stretch
+// column is a k-source estimate (the table marks it).
+func Scenarios(n, trials int, seed uint64) *stats.Table {
+	healers := []core.Healer{core.DASH{}, core.SDASH{}}
+	t := &stats.Table{
+		Title: "Scenario presets: mixed insert/delete/churn workloads (uniform victims)",
+		Header: []string{"preset", "healer", "events", "final alive", "peak δ",
+			"max stretch", "always connected", "sampled"},
+	}
+	for pi, name := range scenario.PresetNames() {
+		sc, err := scenario.Preset(name, n)
+		if err != nil {
+			panic(err) // preset names come from the registry itself
+		}
+		for hi, h := range healers {
+			cfg := scenario.Config{
+				NewGraph:          BAGraph(n),
+				Schedule:          sc,
+				Healer:            h,
+				Trials:            trials,
+				Seed:              seed + uint64(pi)*1009 + uint64(hi)*17,
+				Workers:           Workers,
+				MeasureEvery:      max(1, sc.Events()/8),
+				TrackConnectivity: true,
+			}
+			res, err := scenario.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			connected := true
+			sampled := false
+			for _, tr := range res.Trials {
+				connected = connected && tr.AlwaysConnected
+				sampled = sampled || tr.SampledMetrics
+			}
+			t.AddRow(name, h.Name(), res.Events, res.FinalAlive.Mean,
+				res.PeakDelta.Mean, res.MaxStretch.Mean, connected, sampled)
+		}
+	}
+	return t
+}
+
 // Latency regenerates the Lemma 9 claim: the amortized MINID-propagation
 // latency (wave depth per round) over a delete-everything run is
 // O(log n) w.h.p., even though a single wave can be much deeper.
@@ -181,7 +227,11 @@ func Latency(sizes []int, trials int, seed uint64) *stats.Table {
 			att := attack.NeighborOfMax{}
 			attR := tr.Split()
 			for s.G.NumAlive() > 0 {
-				s.DeleteAndHeal(att.Next(s, attR), core.DASH{})
+				v := att.Next(s, attR)
+				if v == attack.NoTarget {
+					break
+				}
+				s.DeleteAndHeal(v, core.DASH{})
 			}
 			amortized[trial] = s.AmortizedFloodDepth()
 			worsts[trial] = float64(s.MaxFloodDepth())

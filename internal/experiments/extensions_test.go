@@ -91,3 +91,18 @@ func TestCutVertexStressShape(t *testing.T) {
 		}
 	}
 }
+
+func TestScenariosShape(t *testing.T) {
+	tab := Scenarios(96, 2, 16)
+	if len(tab.Rows) != 6 { // 3 presets × 2 healers
+		t.Fatalf("expected 6 rows, got %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[6] != "true" {
+			t.Errorf("row %d (%s/%s): healed scenario lost connectivity", i, row[0], row[1])
+		}
+		if peak := cell(t, tab.Rows, i, 4); peak <= 0 || peak > 2*math.Log2(96)+1 {
+			t.Errorf("row %d: peak δ %.1f implausible", i, peak)
+		}
+	}
+}

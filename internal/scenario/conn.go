@@ -1,0 +1,173 @@
+package scenario
+
+import "repro/internal/graph"
+
+// ConnTracker answers "has the network stayed connected through every
+// event so far?" without paying a full O(n+m) sweep per event.
+//
+// The soundness argument is local: suppose the graph was connected
+// before a deletion (single or batch) of the node set D. Every original
+// path that crossed D enters and leaves D through its surviving boundary
+// B = N(D) \ D, so the post-deletion graph is connected if and only if
+// all of B lies in one component of it (when B is empty, D was the whole
+// graph and the empty remainder is trivially connected). The tracker
+// therefore checks only the mutual reachability of B — a BFS from one
+// boundary witness that stops as soon as it has seen all the others. A
+// self-healer reconnects the boundary with edges among (a subset of) B
+// itself, so in the healthy case this BFS terminates after exploring a
+// neighborhood of the wound rather than the whole graph; only an actual
+// partition degrades to a full traversal, and that is the event worth
+// paying for.
+//
+// For long schedules with very many deletions, even a neighborhood BFS
+// per event adds up, so the tracker supports a check cadence: witnesses
+// accumulate and one BFS verifies a whole window of events. Deferral is
+// still sound for the latched "always connected" verdict — any path in
+// the window-start graph reroutes around each dead node via that node's
+// own deletion-time boundary, and a boundary member that itself died
+// later contributes its own boundary, recursing to strictly later
+// deletions until an alive witness is reached; so if every alive
+// witness of the window sits in one component at flush time, the whole
+// graph does. What deferral gives up is granularity: a transient
+// partition healed within the window is not observed, and FirstBreak
+// reports the flush event, not the breaking one. Cadence 1 checks every
+// event and has neither caveat.
+//
+// Insertions keep connectivity whenever the newcomer attaches to at
+// least one alive node; they are checked immediately (no BFS needed).
+//
+// Once a disconnection is observed the tracker latches: like
+// sim.Trial.AlwaysConnected, it reports whether the network has remained
+// connected at every (observed) step, so later re-merges do not reset
+// it, and no further BFS work is done.
+type ConnTracker struct {
+	ok         bool
+	firstBreak int // event index of the first observed disconnection, -1
+	every      int // check cadence; <= 1 checks at every observation
+
+	pending    []int32 // accumulated boundary witnesses (may repeat, may die)
+	sinceCheck int
+
+	// Epoch-stamped scratch: seen[v]==epoch means visited this check,
+	// target[v]==epoch means v is an unmet witness this check. Stamps
+	// make per-check resets O(1) instead of O(n).
+	epoch  int32
+	seen   []int32
+	target []int32
+	queue  []int32
+}
+
+// NewConnTracker starts tracking g, paying one full connectivity check
+// to anchor the induction. every is the check cadence: 1 (or less)
+// verifies after every deletion event, k > 1 batches witnesses and
+// verifies every k-th observation (and on Flush).
+func NewConnTracker(g *graph.Graph, every int) *ConnTracker {
+	return &ConnTracker{ok: g.Connected(), firstBreak: -1, every: every}
+}
+
+// StillConnected reports whether the graph has stayed connected through
+// every event observed so far. Call Flush first if deferred witnesses
+// may be pending.
+func (t *ConnTracker) StillConnected() bool { return t.ok }
+
+// FirstBreak returns the event index passed to the observation (or
+// flush) that first found the graph disconnected, or -1.
+func (t *ConnTracker) FirstBreak() int { return t.firstBreak }
+
+// grow resizes the scratch to the graph's current slot count.
+func (t *ConnTracker) grow(n int) {
+	for len(t.seen) < n {
+		t.seen = append(t.seen, 0)
+		t.target = append(t.target, 0)
+	}
+}
+
+// AfterDelete observes a healed single deletion: survivors is the dead
+// node's surviving G neighborhood (the Deletion snapshot's GNbrs).
+func (t *ConnTracker) AfterDelete(g *graph.Graph, survivors []int, event int) {
+	t.observe(g, survivors, event)
+}
+
+// AfterBatch observes a healed batch kill: boundary is the union of the
+// dead set's surviving G neighbors.
+func (t *ConnTracker) AfterBatch(g *graph.Graph, boundary []int, event int) {
+	t.observe(g, boundary, event)
+}
+
+// AfterJoin observes an insertion that attached the newcomer with the
+// given number of edges.
+func (t *ConnTracker) AfterJoin(g *graph.Graph, attached, event int) {
+	if !t.ok {
+		return
+	}
+	if attached == 0 && g.NumAlive() > 1 {
+		t.ok = false
+		t.firstBreak = event
+	}
+}
+
+func (t *ConnTracker) observe(g *graph.Graph, witnesses []int, event int) {
+	if !t.ok {
+		return
+	}
+	for _, w := range witnesses {
+		t.pending = append(t.pending, int32(w))
+	}
+	t.sinceCheck++
+	if t.every <= 1 || t.sinceCheck >= t.every {
+		t.Flush(g, event)
+	}
+}
+
+// Flush verifies all pending witnesses now (one early-exit BFS) and
+// clears the backlog. The runner calls it at trial end; callers using a
+// cadence > 1 get it automatically every cadence-th observation.
+func (t *ConnTracker) Flush(g *graph.Graph, event int) {
+	if !t.ok || len(t.pending) == 0 {
+		t.pending = t.pending[:0]
+		t.sinceCheck = 0
+		return
+	}
+	t.grow(g.N())
+	t.epoch++
+	remaining := 0
+	start := -1
+	for _, w32 := range t.pending {
+		w := int(w32)
+		// Witnesses that died later in the window contributed their own
+		// deletion-time boundary to pending; skipping them is what the
+		// rerouting argument above licenses.
+		if !g.Alive(w) || t.target[w] == t.epoch {
+			continue
+		}
+		t.target[w] = t.epoch
+		remaining++
+		if start < 0 {
+			start = w
+		}
+	}
+	t.pending = t.pending[:0]
+	t.sinceCheck = 0
+	if remaining <= 1 {
+		return // nothing to connect, or an entire component died
+	}
+	t.seen[start] = t.epoch
+	remaining--
+	t.queue = append(t.queue[:0], int32(start))
+	for head := 0; head < len(t.queue) && remaining > 0; head++ {
+		for _, u := range g.Neighbors(int(t.queue[head])) {
+			if t.seen[u] == t.epoch {
+				continue
+			}
+			t.seen[u] = t.epoch
+			if t.target[u] == t.epoch {
+				remaining--
+			}
+			t.queue = append(t.queue, u)
+		}
+	}
+	if remaining > 0 {
+		t.ok = false
+		t.firstBreak = event
+	}
+}

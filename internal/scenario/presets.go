@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset schedules: the three reference workloads the experiments and
+// cmd/scenario expose by name. All are parameterized by the initial
+// network size n so the same shape scales from test sizes to 10⁵–10⁶.
+
+// PresetDisaster models correlated infrastructure failure (Hayashi et
+// al., arXiv:2008.00651): after a short quiet warm-up, eight rack/region
+// failures each take down a connected ball of ~n/64 nodes at once, then
+// the survivors endure a uniform attrition tail of n/50 deletions.
+func PresetDisaster(n int) Schedule {
+	wave := max(1, n/64)
+	return Schedule{Name: "disaster", Phases: []Phase{
+		Quiet(2),
+		Disaster(8, wave),
+		Quiet(2),
+		Attrition(max(1, n/50)),
+	}}
+}
+
+// PresetFlashCrowd models a growth burst hitting a network under attack:
+// n/8 newcomers arrive (3 attach edges each, the BA attachment
+// parameter), then the adversary deletes n/8 victims, then a churn
+// cooldown interleaves one arrival per two departures.
+func PresetFlashCrowd(n int) Schedule {
+	k := max(1, n/8)
+	return Schedule{Name: "flash-crowd", Phases: []Phase{
+		Quiet(1),
+		Growth(k, 3),
+		Attrition(k),
+		Churn(max(2, n/16), 3, 3),
+	}}
+}
+
+// PresetSustainedChurn models a long-running overlay that never stops
+// changing: n/2 events where every third event is an arrival and the
+// rest are departures, so the network shrinks under continuous renewal.
+func PresetSustainedChurn(n int) Schedule {
+	return Schedule{Name: "sustained-churn", Phases: []Phase{
+		Quiet(1),
+		Churn(max(3, n/2), 3, 3),
+		Quiet(1),
+	}}
+}
+
+var presets = map[string]func(n int) Schedule{
+	"disaster":        PresetDisaster,
+	"flash-crowd":     PresetFlashCrowd,
+	"sustained-churn": PresetSustainedChurn,
+}
+
+// PresetNames lists the available preset schedules, sorted.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preset instantiates the named preset for an initial size n.
+func Preset(name string, n int) (Schedule, error) {
+	mk, ok := presets[name]
+	if !ok {
+		return Schedule{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return mk(n), nil
+}

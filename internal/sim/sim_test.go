@@ -189,3 +189,29 @@ func TestRunPanicsOnBadConfig(t *testing.T) {
 	}()
 	Run(Config{NewGraph: func(*rng.RNG) *graph.Graph { return graph.New(1) }})
 }
+
+// TestAttackExhaustsEarly is the NoTarget regression test: an adversary
+// that runs out of victims mid-run must stop the trial cleanly — no
+// panic, no healer invocation on a dead node — even though the config
+// asked for a full deletion sweep.
+func TestAttackExhaustsEarly(t *testing.T) {
+	cfg := Config{
+		NewGraph:  func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(40, 2, r) },
+		NewAttack: func() attack.Strategy { return &attack.Limited{Inner: attack.Random{}, Budget: 7} },
+		Healer:    core.DASH{},
+		Trials:    3,
+		Seed:      99,
+		// DeleteFraction outside (0,1]: delete everything — except the
+		// attack gives up first.
+		TrackConnectivity: true,
+	}
+	res := Run(cfg)
+	for i, tr := range res.Trials {
+		if tr.Rounds != 7 {
+			t.Fatalf("trial %d ran %d rounds, budget was 7", i, tr.Rounds)
+		}
+		if !tr.AlwaysConnected {
+			t.Fatalf("trial %d disconnected", i)
+		}
+	}
+}

@@ -49,6 +49,20 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// CI95 returns the normal-approximation 95% confidence interval for the
+// mean of the summarized sample, [Mean - 1.96·SE, Mean + 1.96·SE] with
+// SE = Std/√N. A sample of fewer than two values has zero estimated
+// spread, so its interval collapses to the mean. The sampled-metrics
+// estimators (metrics.SampledStretch, metrics.SampledDiameter) report
+// these intervals alongside their point estimates.
+func (s Summary) CI95() (lo, hi float64) {
+	if s.N < 2 {
+		return s.Mean, s.Mean
+	}
+	half := 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return s.Mean - half, s.Mean + half
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics. It panics on an empty sample or
 // a q outside [0,1].

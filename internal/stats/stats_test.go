@@ -155,3 +155,25 @@ func TestFormatFloat(t *testing.T) {
 		t.Errorf("FormatFloat(3.14159) = %q", FormatFloat(3.14159))
 	}
 }
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6, 8})
+	lo, hi := s.CI95()
+	if lo >= s.Mean || hi <= s.Mean {
+		t.Fatalf("CI [%v,%v] should strictly contain the mean %v", lo, hi, s.Mean)
+	}
+	if math.Abs((s.Mean-lo)-(hi-s.Mean)) > 1e-12 {
+		t.Fatalf("CI [%v,%v] not symmetric around %v", lo, hi, s.Mean)
+	}
+	want := 1.96 * s.Std / 2 // sqrt(N)=2
+	if math.Abs((hi-lo)/2-want) > 1e-12 {
+		t.Fatalf("half-width %v, want %v", (hi-lo)/2, want)
+	}
+	// Degenerate samples collapse to the mean.
+	if lo, hi := Summarize([]float64{5}).CI95(); lo != 5 || hi != 5 {
+		t.Fatalf("singleton CI [%v,%v], want [5,5]", lo, hi)
+	}
+	if lo, hi := Summarize(nil).CI95(); lo != 0 || hi != 0 {
+		t.Fatalf("empty CI [%v,%v], want [0,0]", lo, hi)
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+// JSONL serialization: one event per line, so traces stream to disk
+// while a scenario runs, survive partial writes (every complete line is
+// a valid record), and are greppable/jq-able. cmd/scenario emits these;
+// DecodeJSONL + Replay turns an archived stream back into the exact
+// final topology.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonEvent is the wire form of Event. Component labels are uint64s
+// drawn from the full range, so they are carried as decimal strings —
+// JSON numbers would silently lose precision past 2⁵³.
+type jsonEvent struct {
+	Kind   string `json:"kind"`
+	Node   int    `json:"node,omitempty"`
+	U      int    `json:"u,omitempty"`
+	V      int    `json:"v,omitempty"`
+	NewInG bool   `json:"new_in_g,omitempty"`
+	InGp   bool   `json:"in_gp,omitempty"`
+	ID     string `json:"id,omitempty"`
+	Attach []int  `json:"attach,omitempty"`
+}
+
+// EncodeJSONL writes the event stream to w, one JSON object per line.
+func EncodeJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline JSONL needs
+	for i, e := range events {
+		je := jsonEvent{Kind: e.Kind.String(), Node: e.Node, U: e.U, V: e.V,
+			NewInG: e.NewInG, InGp: e.InGp, Attach: e.Attach}
+		if e.Kind == KindAdopt {
+			je.ID = strconv.FormatUint(e.ID, 10)
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL parses a stream written by EncodeJSONL. Blank lines are
+// skipped; anything else malformed is an error naming the line.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		e := Event{Node: je.Node, U: je.U, V: je.V,
+			NewInG: je.NewInG, InGp: je.InGp, Attach: je.Attach}
+		switch je.Kind {
+		case KindRemove.String():
+			e.Kind = KindRemove
+		case KindEdge.String():
+			e.Kind = KindEdge
+		case KindAdopt.String():
+			e.Kind = KindAdopt
+			id, err := strconv.ParseUint(je.ID, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad adopt id %q", line, je.ID)
+			}
+			e.ID = id
+		case KindJoin.String():
+			e.Kind = KindJoin
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, je.Kind)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading stream: %w", err)
+	}
+	return out, nil
+}

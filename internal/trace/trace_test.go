@@ -1,10 +1,13 @@
 package trace
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/rng"
@@ -123,5 +126,68 @@ func TestAdoptEventsRecorded(t *testing.T) {
 	}
 	if adopts == 0 {
 		t.Error("star heal must relabel someone")
+	}
+}
+
+// TestJSONLRoundTrip records a real mixed run (deletions, healing edges,
+// adoptions, joins), pushes it through the JSONL codec, and verifies the
+// decoded stream both equals the original and still replays to the
+// exact final topology.
+func TestJSONLRoundTrip(t *testing.T) {
+	master := rng.New(31)
+	initial := gen.BarabasiAlbert(48, 3, master.Split())
+	s := core.NewState(initial.Clone(), master.Split())
+	rec := Attach(s)
+	att := attack.NeighborOfMax{}
+	attR := master.Split()
+	joinR := master.Split()
+	for i := 0; i < 20; i++ {
+		if i%4 == 3 {
+			alive := s.G.AliveNodes()
+			s.Join([]int{alive[0], alive[len(alive)/2]}, joinR)
+			continue
+		}
+		v := att.Next(s, attR)
+		if v == attack.NoTarget {
+			break
+		}
+		s.DeleteAndHeal(v, core.DASH{})
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, rec.Events()) {
+		t.Fatalf("decoded stream differs:\n got %v\nwant %v", decoded, rec.Events())
+	}
+	g, gp, err := Replay(initial, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(s.G) || !gp.Equal(s.Gp) {
+		t.Fatal("replay of the decoded stream diverged from the live run")
+	}
+}
+
+func TestDecodeJSONLErrors(t *testing.T) {
+	cases := []string{
+		`{"kind":"warp"}`,                // unknown kind
+		`{"kind":"adopt","id":"notnum"}`, // bad label
+		`{"kind":`,                       // malformed JSON
+	}
+	for _, c := range cases {
+		if _, err := DecodeJSONL(strings.NewReader(c)); err == nil {
+			t.Errorf("DecodeJSONL(%q) should fail", c)
+		}
+	}
+	// Blank lines are tolerated.
+	ev, err := DecodeJSONL(strings.NewReader("\n{\"kind\":\"remove\",\"node\":3}\n\n"))
+	if err != nil || len(ev) != 1 || ev[0].Kind != KindRemove || ev[0].Node != 3 {
+		t.Fatalf("blank-line stream: %v %v", ev, err)
 	}
 }

@@ -73,6 +73,11 @@ type (
 	Result = sim.Result
 )
 
+// NoTarget is returned by Strategy.Next when the attack has nothing
+// left to delete; every harness loop must stop (or skip the remaining
+// deletions) on it rather than hand the healer a dead node.
+const NoTarget = attack.NoTarget
+
 // The healing strategies of the paper.
 var (
 	// DASH is Algorithm 1: degree-based self-healing with the
