@@ -4,15 +4,24 @@
 // label floods, NoN gossip). It optionally cross-checks every round
 // against the sequential reference implementation.
 //
+// With -batch k, each round is a correlated disaster instead of a
+// single kill: a BFS ball of up to k alive nodes around the attack's
+// chosen epicenter dies at once, healed by the distributed batch-kill
+// epoch (cluster probe, candidate convergecast, per-cluster leader
+// election and wiring) and cross-checked against the sequential
+// batch-DASH rule (core.DeleteBatchAndHeal).
+//
 // Examples:
 //
 //	dashdist -n 300 -attack NeighborOfMax
 //	dashdist -n 200 -heal SDASH -verify=false
+//	dashdist -n 500 -batch 24 -attack MaxNode
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -32,8 +41,13 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "master random seed")
 		verify     = flag.Bool("verify", true, "cross-check each round against the sequential reference")
 		every      = flag.Int("report-every", 50, "print a status line every k rounds")
+		batch      = flag.Int("batch", 0, "disaster mode: kill a BFS ball of up to k nodes around the attack's epicenter per round (0 = single kills)")
 	)
 	flag.Parse()
+	if *every <= 0 {
+		// Both round loops compute round % every; never divide by zero.
+		*every = 1
+	}
 
 	kind, seqHealer, err := pickHealer(*healName)
 	if err != nil {
@@ -59,6 +73,17 @@ func main() {
 
 	att := newAttack()
 	attR := master.Split()
+	if *batch > 0 {
+		diverged := runBatchMode(os.Stdout, seq, nw, att, attR, *batch, *every, *verify)
+		if *verify {
+			if diverged {
+				fmt.Println("\nresult: FAILED — distributed batch run diverged from the sequential reference")
+				os.Exit(1)
+			}
+			fmt.Println("\nresult: distributed batch run matched the sequential reference exactly, every epoch")
+		}
+		return
+	}
 	divergence := false
 	for round := 1; seq.G.NumAlive() > 0; round++ {
 		x := att.Next(seq, attR)
@@ -98,6 +123,45 @@ func main() {
 		}
 		fmt.Println("\nresult: distributed run matched the sequential reference exactly, every round")
 	}
+}
+
+// runBatchMode drives disaster rounds: the attack picks an epicenter on
+// the sequential state, a BFS ball of up to batchSize alive nodes dies
+// as one batch, and both engines heal it — core.DeleteBatchAndHeal on
+// the sequential side, the staged batch-kill epoch on the distributed
+// side — with optional exact cross-checking per epoch. It reports
+// whether any epoch diverged.
+func runBatchMode(w io.Writer, seq *core.State, nw *dist.Network, att attack.Strategy,
+	attR *rng.RNG, batchSize, every int, verify bool) bool {
+	diverged := false
+	for round := 1; seq.G.NumAlive() > 0; round++ {
+		center := att.Next(seq, attR)
+		if center == attack.NoTarget {
+			break
+		}
+		ball := seq.G.BFSBall(center, batchSize)
+		seq.DeleteBatchAndHeal(ball)
+		nw.KillBatch(ball)
+
+		if verify || round%every == 0 || seq.G.NumAlive() == 0 {
+			snap := nw.Snapshot()
+			match := snap.G.Equal(seq.G) && snap.Gp.Equal(seq.Gp)
+			for _, v := range seq.G.AliveNodes() {
+				match = match && snap.CurID[v] == seq.CurID(v) && snap.Delta[v] == seq.Delta(v)
+			}
+			if verify && !match {
+				diverged = true
+				fmt.Fprintf(w, "epoch %d: DIVERGENCE from sequential reference\n", round)
+			}
+			if round%every == 0 || seq.G.NumAlive() == 0 {
+				fSum, fMax, rounds := nw.FloodStats()
+				fmt.Fprintf(w, "epoch %4d: killed %3d (ball around %5d) alive=%5d connected=%v match=%v | flood depth amortized=%s worst=%d\n",
+					round, len(ball), center, snap.G.NumAlive(), snap.G.Connected(), match,
+					stats.FormatFloat(float64(fSum)/float64(max(rounds, 1))), fMax)
+			}
+		}
+	}
+	return diverged
 }
 
 // pickHealer maps the flag to the distributed rule and the matching

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
+	"repro/internal/attack"
+	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/rng"
 )
 
 func TestPickHealer(t *testing.T) {
@@ -17,5 +23,33 @@ func TestPickHealer(t *testing.T) {
 	}
 	if _, _, err := pickHealer("GraphHeal"); err == nil {
 		t.Error("non-distributed healer should be rejected")
+	}
+}
+
+// TestRunBatchMode drives the disaster loop end to end on a small
+// network: the distributed batch epochs must match the sequential
+// batch-DASH rule every round, all the way to an empty graph.
+func TestRunBatchMode(t *testing.T) {
+	const n, seed = 160, 9
+	master := rng.New(seed)
+	g := gen.BarabasiAlbert(n, 3, master.Split())
+	seq := core.NewState(g.Clone(), master.Split())
+	ids := make([]uint64, n)
+	for v := range ids {
+		ids[v] = seq.InitID(v)
+	}
+	nw := dist.New(g.Clone(), ids)
+	defer nw.Close()
+
+	var buf bytes.Buffer
+	diverged := runBatchMode(&buf, seq, nw, attack.MaxDegree{}, master.Split(), 12, 4, true)
+	if diverged {
+		t.Fatalf("batch mode diverged:\n%s", buf.String())
+	}
+	if seq.G.NumAlive() != 0 {
+		t.Fatalf("MaxNode disaster loop should empty the graph, %d alive", seq.G.NumAlive())
+	}
+	if !strings.Contains(buf.String(), "killed") {
+		t.Fatalf("expected status lines, got:\n%s", buf.String())
 	}
 }

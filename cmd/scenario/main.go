@@ -8,9 +8,20 @@
 // stretch/diameter estimates (k random BFS sources, 95% CIs) instead of
 // exact O(n·m) sweeps, so large runs complete in seconds.
 //
+// The MaxNode victim policy is backed by the degree-bucketed index
+// (graph.MaxDegreeIndex fed from healed-edge endpoints), so adversarial
+// runs scale to the same sizes as Uniform ones.
+//
+// With -differential the preset is not swept but replayed: trial 0 runs
+// through the sequential engine AND the distributed goroutine-per-node
+// engine in lockstep — batch kills included, via the staged batch-kill
+// epoch — with exact G/G′/label/δ equality checked after every mutating
+// event (keep n moderate; every node is a goroutine).
+//
 // Examples:
 //
 //	scenario -preset disaster -n 100000
+//	scenario -preset disaster -n 2000 -differential
 //	scenario -preset sustained-churn -n 50000 -heal SDASH -trials 4 -out churn.jsonl
 //	scenario -preset flash-crowd -n 512 -victim MaxNode -trace trace.jsonl
 package main
@@ -23,6 +34,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -51,13 +63,85 @@ func main() {
 		connEvery = flag.Int("connectivity-every", 1, "connectivity check cadence: 1 = every event (exact first-break), k > 1 = one batched check per k events (flat cost on churn-heavy schedules)")
 		out       = flag.String("out", "", "write checkpoint JSONL to this file ('-' = stdout)")
 		tracePath = flag.String("trace", "", "write trial 0's mutation trace as JSONL to this file")
+		diff      = flag.Bool("differential", false, "replay trial 0 through the sequential AND distributed engines in lockstep, verifying exact equality per event (DASH/SDASH only; keep n moderate)")
 	)
 	flag.Parse()
+	if *diff {
+		if err := runDifferential(os.Stdout, *preset, *n, *healName, *victim, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "scenario:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if _, err := run(os.Stdout, *preset, *n, *healName, *victim, *trials, *seed,
 		*workers, *measure, *threshold, *sources, *conn, *connEvery, *out, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "scenario:", err)
 		os.Exit(1)
 	}
+}
+
+// victimPolicy resolves the -victim flag into a per-trial policy
+// constructor (nil means the default O(1) Uniform sampler).
+func victimPolicy(victim string) (func() scenario.VictimPolicy, error) {
+	switch victim {
+	case "", "Uniform":
+		return nil, nil
+	case "MaxNode":
+		// The bucketed-index policy: same victim sequence as
+		// attack.MaxDegree (property-tested), without the O(n) scan per
+		// event, so MaxNode runs scale like Uniform ones.
+		return scenario.NewMaxDegree, nil
+	default:
+		newAttack, err := repro.AttackByName(victim)
+		if err != nil {
+			return nil, err
+		}
+		return func() scenario.VictimPolicy {
+			return scenario.FromAttack{S: newAttack()}
+		}, nil
+	}
+}
+
+// runDifferential replays a preset differentially: the scenario runner
+// drives the sequential engine, every mutation is mirrored onto the
+// distributed network, and any divergence is an error.
+func runDifferential(w io.Writer, preset string, n int, healName, victim string, seed uint64) error {
+	sc, err := scenario.Preset(preset, n)
+	if err != nil {
+		return err
+	}
+	healer, err := repro.HealerByName(healName)
+	if err != nil {
+		return err
+	}
+	newVictim, err := victimPolicy(victim)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.ReplayDifferential(scenario.Config{
+		NewGraph:     func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, 3, r) },
+		Schedule:     sc,
+		Healer:       healer,
+		NewVictim:    newVictim,
+		Seed:         seed,
+		MeasureEvery: -1,
+	}, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "differential replay of %q (n=%d, %s healing, %s victims): engines agreed on every event\n",
+		preset, n, healName, victimName(victim))
+	fmt.Fprintf(w, "  %d events: %d kills, %d joins, %d batch epochs killing %d nodes, %d healing rounds\n",
+		rep.Events, rep.Kills, rep.Joins, rep.BatchKills, rep.Killed, rep.Rounds)
+	return nil
+}
+
+// victimName normalizes the flag's empty default for display.
+func victimName(victim string) string {
+	if victim == "" {
+		return "Uniform"
+	}
+	return victim
 }
 
 func run(w io.Writer, preset string, n int, healName, victim string, trials int,
@@ -84,15 +168,11 @@ func run(w io.Writer, preset string, n int, healName, victim string, trials int,
 		TrackConnectivity: conn,
 		ConnectivityEvery: connEvery,
 	}
-	if victim != "" && victim != "Uniform" {
-		newAttack, err := repro.AttackByName(victim)
-		if err != nil {
-			return scenario.Result{}, err
-		}
-		cfg.NewVictim = func() scenario.VictimPolicy {
-			return scenario.FromAttack{S: newAttack()}
-		}
+	newVictim, err := victimPolicy(victim)
+	if err != nil {
+		return scenario.Result{}, err
 	}
+	cfg.NewVictim = newVictim
 	var rec *trace.Recorder
 	if tracePath != "" {
 		cfg.Observe = func(trial int, s *core.State) {

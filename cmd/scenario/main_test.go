@@ -103,6 +103,27 @@ func TestRunSmall(t *testing.T) {
 	}
 }
 
+// TestRunDifferential drives the -differential path: a small disaster
+// preset replayed through both engines must agree on every event and
+// say so.
+func TestRunDifferential(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runDifferential(&buf, "disaster", 256, "DASH", "MaxNode", 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "engines agreed") || !strings.Contains(out, "batch epochs") ||
+		!strings.Contains(out, "MaxNode victims") {
+		t.Fatalf("unexpected differential summary:\n%s", out)
+	}
+	if err := runDifferential(&buf, "disaster", 64, "GraphHeal", "Uniform", 1); err == nil {
+		t.Error("healers without a distributed counterpart must be rejected")
+	}
+	if err := runDifferential(&buf, "disaster", 64, "DASH", "NoSuchVictim", 1); err == nil {
+		t.Error("unknown victim policies must be rejected")
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := run(&buf, "no-such-preset", 64, "DASH", "Uniform", 1, 1, 1, 0, 0, 0, false, 1, "", ""); err == nil {

@@ -37,9 +37,12 @@ func (s *State) RemoveBatch(xs []int) []Deletion {
 // precondition (the neighbor-of-neighbor graph of the batch stays
 // connected), and G′ remains a forest unconditionally.
 func (s *State) DeleteBatchAndHeal(xs []int) HealResult {
+	if s.hooks != nil && s.hooks.OnBatchKill != nil {
+		s.hooks.OnBatchKill(xs)
+	}
 	dels := s.RemoveBatch(xs)
 	var res HealResult
-	for _, cluster := range clusterDeletions(dels) {
+	for _, cluster := range ClusterDeletions(dels) {
 		// Candidates: all surviving G neighbors of the cluster.
 		candSet := make(map[int]struct{})
 		for _, d := range cluster {
@@ -84,11 +87,14 @@ func (s *State) DeleteBatchAndHeal(xs []int) HealResult {
 	return res
 }
 
-// clusterDeletions groups the deletion snapshots of a batch into
+// ClusterDeletions groups the deletion snapshots of a batch into
 // connected clusters of the deleted set (adjacency as of deletion time:
 // x and y are in one cluster when y ∈ N(x,G) at the moment the batch was
-// removed). Healing treats each cluster as one "super-deletion".
-func clusterDeletions(dels []Deletion) [][]Deletion {
+// removed). Healing treats each cluster as one "super-deletion"; the
+// clusters come back ordered by smallest member index, which is also the
+// order the distributed batch-kill epoch heals them in (internal/dist
+// cross-checks its message-built clusters against this function).
+func ClusterDeletions(dels []Deletion) [][]Deletion {
 	index := make(map[int]int, len(dels)) // node -> position in dels
 	for i, d := range dels {
 		index[d.Node] = i

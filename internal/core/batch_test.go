@@ -118,7 +118,7 @@ func TestClusterDeletionsGrouping(t *testing.T) {
 	g.AddEdge(4, 5)
 	s := NewState(g, rng.New(7))
 	dels := s.RemoveBatch([]int{0, 1, 2, 4})
-	clusters := clusterDeletions(dels)
+	clusters := ClusterDeletions(dels)
 	if len(clusters) != 2 {
 		t.Fatalf("got %d clusters, want 2", len(clusters))
 	}

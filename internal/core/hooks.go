@@ -15,6 +15,12 @@ type Hooks struct {
 	OnAdopt func(v int, id uint64)
 	// OnJoin fires after a new node v joined, attached to attach.
 	OnJoin func(v int, attach []int)
+	// OnBatchKill fires at the start of DeleteBatchAndHeal with the
+	// victim set as given (possibly containing duplicates), before any
+	// member is removed; the per-member OnRemove callbacks follow.
+	// Observers replaying mutations against a batch-capable engine use
+	// it to group those removals into one batch operation.
+	OnBatchKill func(xs []int)
 }
 
 // SetHooks installs the observer callbacks (nil disables them).

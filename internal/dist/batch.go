@@ -1,0 +1,184 @@
+package dist
+
+// The distributed batch-kill protocol: footnote 1 of the paper
+// generalized to an actual message-passing epoch. A whole victim set
+// dies "at once" (between healing rounds); the survivors must heal every
+// connected cluster of the dead set as one super-deletion, computing
+// bit-for-bit the state core.DeleteBatchAndHeal produces.
+//
+// The supervisor stages the epoch on quiescence boundaries — the same
+// conservation counter Kill and Join block on — so each stage's messages
+// have all been processed before the next stage's are sent:
+//
+//  1. Die. Every victim learns the victim set and enters dying mode.
+//  2. Cluster probe. Victims flood the minimum victim index through
+//     victim-victim edges; each connected dead cluster converges on one
+//     root (the distributed analogue of core.ClusterDeletions, and the
+//     same per-cluster ordering key the sequential healer uses).
+//  3. Collect. Each victim convergecasts its surviving neighbors — the
+//     cluster's healing candidates, with initial IDs — to its root.
+//  4. Commit. Victims broadcast batch tombstones to survivors (who
+//     update topology and NoN state but, unlike a single-kill round,
+//     neither elect nor report); each root appoints the cluster's
+//     surviving leader — the lowest-initial-ID candidate — and hands it
+//     the candidate set. Victims then turn zombie and are stopped.
+//  5. Heal, one cluster at a time in ascending root order (the order
+//     the sequential engine heals them, so interleaved δ/label updates
+//     agree). Per cluster: the leader orders a G′ component probe (a
+//     min-candidate-initial-ID relaxation flood, the structural
+//     equivalent of Gp.ComponentLabels — stale labels cannot tell apart
+//     the fragments a multi-node deletion splits a G′ tree into), then
+//     collects heal reports, wires one representative per component as
+//     DASH's complete binary tree, and floods MINID over the
+//     reconnection set exactly as a single-kill round does.
+//
+// Lemma 9 accounting matches the sequential engine's: each cluster's
+// MINID wave contributes its own depth to the flood sums, and the whole
+// epoch counts as one round.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// batchCluster is one dead cluster's supervisor-side record: its root
+// (smallest member index) and the surviving leader the root appointed.
+type batchCluster struct {
+	root, leader int
+}
+
+// recordBatchCluster notes a cluster's elected leader; called by dying
+// roots during the commit stage (like recordFloodDepth, supervisor-side
+// bookkeeping written by node goroutines under the network mutex).
+func (nw *Network) recordBatchCluster(root, leader int) {
+	nw.mu.Lock()
+	nw.batchClusters = append(nw.batchClusters, batchCluster{root, leader})
+	nw.mu.Unlock()
+}
+
+// KillBatch deletes every node in vs simultaneously and blocks until the
+// whole batch epoch — correlated death notices, per-cluster leader
+// election, cluster heals — has quiesced, like the sequential engine's
+// DeleteBatchAndHeal. Duplicates are ignored; it panics if any victim is
+// dead (mirroring core.State.RemoveBatch) or if the epoch wedges.
+func (nw *Network) KillBatch(vs []int) {
+	if err := nw.KillBatchWithTimeout(vs, DefaultKillTimeout); err != nil {
+		panic(err)
+	}
+}
+
+// KillBatchWithTimeout is KillBatch with an explicit deadline covering
+// the whole epoch. On timeout it returns an error naming the wedged
+// stage and carrying the diagnostic dump.
+func (nw *Network) KillBatchWithTimeout(vs []int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	set := make(map[int]struct{}, len(vs))
+	batch := make([]int, 0, len(vs))
+	nw.mu.Lock()
+	for _, v := range vs {
+		if _, dup := set[v]; dup {
+			continue
+		}
+		if v < 0 || v >= nw.n || nw.dead[v] {
+			nw.mu.Unlock()
+			panic(fmt.Sprintf("dist: batch-killing dead node %d", v))
+		}
+		set[v] = struct{}{}
+		batch = append(batch, v)
+	}
+	nw.batchClusters = nw.batchClusters[:0]
+	nw.mu.Unlock()
+	if len(batch) == 0 {
+		// An empty batch is still a round, as in the sequential engine.
+		nw.mu.Lock()
+		nw.rounds++
+		nw.mu.Unlock()
+		return nil
+	}
+
+	stage := func(name string, send func()) error {
+		send()
+		if !nw.track.wait(time.Until(deadline)) {
+			return fmt.Errorf("dist: batch epoch stage %q did not quiesce within %v\n%s",
+				name, timeout, nw.DumpState())
+		}
+		return nil
+	}
+	broadcast := func(kind msgKind) func() {
+		return func() {
+			for _, v := range batch {
+				nw.send(v, message{kind: kind, batch: set})
+			}
+		}
+	}
+
+	// Victim stages. The die stage is separate from the probe stage so
+	// that no victim can receive a cluster probe before it has learned
+	// the victim set (supervisor sends and peer probes are not ordered
+	// relative to each other).
+	if err := stage("die", broadcast(msgBatchDie)); err != nil {
+		return err
+	}
+	if err := stage("cluster-probe", broadcast(msgBatchProbe)); err != nil {
+		return err
+	}
+	if err := stage("collect", broadcast(msgBatchCollect)); err != nil {
+		return err
+	}
+	if err := stage("commit", broadcast(msgBatchCommit)); err != nil {
+		return err
+	}
+
+	// The victims are gone from every survivor's adjacency; mark them
+	// dead and reap the zombie goroutines.
+	nw.mu.Lock()
+	for _, v := range batch {
+		nw.dead[v] = true
+	}
+	clusters := append([]batchCluster(nil), nw.batchClusters...)
+	nw.mu.Unlock()
+	if err := stage("stop", broadcast(msgStop)); err != nil {
+		return err
+	}
+
+	// Heal the clusters in ascending root order — the order
+	// core.DeleteBatchAndHeal processes them, which matters because each
+	// cluster's heal changes the δs, labels, and G′ components the next
+	// cluster's heal observes.
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].root < clusters[j].root })
+	for _, c := range clusters {
+		if err := stage(fmt.Sprintf("probe[%d]", c.root), func() {
+			nw.send(c.leader, message{kind: msgBatchHealStart, victim: c.root})
+		}); err != nil {
+			return err
+		}
+		if err := stage(fmt.Sprintf("wire[%d]", c.root), func() {
+			nw.send(c.leader, message{kind: msgBatchHealWire, victim: c.root})
+		}); err != nil {
+			return err
+		}
+		// Per-cluster Lemma 9 accounting, mirroring the sequential
+		// engine's one PropagateMinID call per cluster.
+		nw.mu.Lock()
+		depth := 0
+		for _, h := range nw.roundHops {
+			if h > depth {
+				depth = h
+			}
+		}
+		clear(nw.roundHops)
+		nw.floodSum += int64(depth)
+		if depth > nw.floodMax {
+			nw.floodMax = depth
+		}
+		nw.mu.Unlock()
+	}
+
+	// The whole epoch is one round, however many clusters it healed.
+	nw.mu.Lock()
+	nw.rounds++
+	nw.mu.Unlock()
+	return nil
+}

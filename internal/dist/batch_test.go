@@ -1,0 +1,341 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// pickBatch draws a victim set from the alive nodes of g: either a
+// uniform subset (typically many singleton clusters) or a BFS ball
+// around a random epicenter (one connected cluster), so both cluster
+// shapes of the batch protocol get exercised.
+func pickBatch(g *graph.Graph, size int, r *rng.RNG) []int {
+	alive := g.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	if size > len(alive) {
+		size = len(alive)
+	}
+	if r.Intn(2) == 0 {
+		// Uniform subset without replacement.
+		perm := append([]int(nil), alive...)
+		for i := 0; i < size; i++ {
+			j := i + r.Intn(len(perm)-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		return perm[:size]
+	}
+	// BFS ball.
+	return g.BFSBall(alive[r.Intn(len(alive))], size)
+}
+
+// expectRoots computes, from the pre-kill topology, the smallest member
+// index of every dead cluster that has at least one surviving neighbor —
+// exactly the clusters the distributed epoch records and heals.
+func expectRoots(g *graph.Graph, batch []int) []int {
+	inBatch := make(map[int]bool, len(batch))
+	for _, v := range batch {
+		inBatch[v] = true
+	}
+	root := make(map[int]int, len(batch))
+	var find func(int) int
+	find = func(v int) int {
+		for root[v] != v {
+			root[v] = root[root[v]]
+			v = root[v]
+		}
+		return v
+	}
+	for _, v := range batch {
+		root[v] = v
+	}
+	for _, v := range batch {
+		for _, u := range g.Neighbors(v) {
+			if inBatch[int(u)] {
+				ra, rb := find(v), find(int(u))
+				if ra < rb {
+					root[rb] = ra
+				} else if rb < ra {
+					root[ra] = rb
+				}
+			}
+		}
+	}
+	hasCand := make(map[int]bool)
+	for _, v := range batch {
+		for _, u := range g.Neighbors(v) {
+			if !inBatch[int(u)] {
+				hasCand[find(v)] = true
+			}
+		}
+	}
+	var roots []int
+	for _, v := range batch {
+		if find(v) == v && hasCand[v] {
+			roots = append(roots, v)
+		}
+	}
+	sortInts(roots)
+	return roots
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func assertStateEqual(t *testing.T, round int, nw *Network, seq *core.State) {
+	t.Helper()
+	snap := nw.Snapshot()
+	if !snap.G.Equal(seq.G) {
+		t.Fatalf("round %d: distributed G diverged from sequential", round)
+	}
+	if !snap.Gp.Equal(seq.Gp) {
+		t.Fatalf("round %d: distributed G′ diverged from sequential", round)
+	}
+	if !snap.Gp.IsSubgraphOf(snap.G) {
+		t.Fatalf("round %d: G′ ⊄ G", round)
+	}
+	for _, v := range seq.G.AliveNodes() {
+		if snap.CurID[v] != seq.CurID(v) {
+			t.Fatalf("round %d: node %d label %d, sequential %d", round, v, snap.CurID[v], seq.CurID(v))
+		}
+		if snap.Delta[v] != seq.Delta(v) {
+			t.Fatalf("round %d: node %d δ=%d, sequential %d", round, v, snap.Delta[v], seq.Delta(v))
+		}
+	}
+}
+
+// TestBatchEquivalenceWithSequential drives mixed epochs — batch kills
+// of both shapes, single kills, joins — through the distributed network
+// and core.DeleteBatchAndHeal / DeleteAndHeal / Join in lockstep,
+// demanding exact G/G′/label/δ equality after every round, plus exact
+// Lemma 9 flood accounting at the end. Batches may legitimately
+// disconnect the survivors (footnote 1's precondition is on the batch's
+// NoN graph), so unlike the single-kill equivalence test this one does
+// not assert connectivity.
+func TestBatchEquivalenceWithSequential(t *testing.T) {
+	kinds := []struct {
+		kind   HealerKind
+		healer core.Healer
+	}{
+		{HealDASH, core.DASH{}},
+		{HealSDASH, core.SDASH{}},
+	}
+	for _, k := range kinds {
+		for seed := uint64(1); seed <= 3; seed++ {
+			k, seed := k, seed
+			t.Run(k.healer.Name()+"/"+string(rune('0'+seed)), func(t *testing.T) {
+				t.Parallel()
+				runBatchEquivalence(t, k.kind, k.healer, 96, seed)
+			})
+		}
+	}
+}
+
+func runBatchEquivalence(t *testing.T, kind HealerKind, healer core.Healer, n int, seed uint64) {
+	master := rng.New(seed)
+	g := gen.BarabasiAlbert(n, 3, master.Split())
+	seq := core.NewState(g.Clone(), master.Split())
+	ids := make([]uint64, n)
+	for v := range ids {
+		ids[v] = seq.InitID(v)
+	}
+	nw := NewKind(g.Clone(), ids, kind)
+	defer nw.Close()
+
+	opR := master.Split()
+	round := 0
+	for seq.G.NumAlive() > 8 {
+		round++
+		switch opR.Intn(4) {
+		case 0, 1: // batch kill, 2..9 victims
+			batch := pickBatch(seq.G, 2+opR.Intn(8), opR)
+			roots := expectRoots(seq.G, batch)
+			seq.DeleteBatchAndHeal(batch)
+			if err := nw.KillBatchWithTimeout(batch, testTimeout); err != nil {
+				t.Fatalf("round %d (batch %v): %v", round, batch, err)
+			}
+			got := make([]int, 0, len(roots))
+			for _, c := range nw.batchClusters {
+				got = append(got, c.root)
+			}
+			sortInts(got)
+			if len(got) != len(roots) {
+				t.Fatalf("round %d: protocol found clusters %v, union-find expects %v", round, got, roots)
+			}
+			for i := range got {
+				if got[i] != roots[i] {
+					t.Fatalf("round %d: protocol found clusters %v, union-find expects %v", round, got, roots)
+				}
+			}
+		case 2: // single kill
+			alive := seq.G.AliveNodes()
+			x := alive[opR.Intn(len(alive))]
+			seq.DeleteAndHeal(x, healer)
+			if err := nw.KillWithTimeout(x, testTimeout); err != nil {
+				t.Fatalf("round %d (kill %d): %v", round, x, err)
+			}
+		case 3: // join to up to 3 distinct targets
+			alive := seq.G.AliveNodes()
+			want := 1 + opR.Intn(3)
+			attach := make([]int, 0, want)
+			for len(attach) < want && len(attach) < len(alive) {
+				u := alive[opR.Intn(len(alive))]
+				dup := false
+				for _, w := range attach {
+					dup = dup || w == u
+				}
+				if !dup {
+					attach = append(attach, u)
+				}
+			}
+			v := seq.Join(attach, opR)
+			dv, err := nw.JoinWithTimeout(attach, seq.InitID(v), testTimeout)
+			if err != nil {
+				t.Fatalf("round %d (join): %v", round, err)
+			}
+			if dv != v {
+				t.Fatalf("round %d: join index %d, sequential %d", round, dv, v)
+			}
+		}
+		assertStateEqual(t, round, nw, seq)
+	}
+
+	sum, maxDepth, rounds := nw.FloodStats()
+	if rounds != seq.Rounds() {
+		t.Fatalf("distributed saw %d rounds, sequential %d", rounds, seq.Rounds())
+	}
+	if sum != seq.FloodDepthSum() || maxDepth != seq.MaxFloodDepth() {
+		t.Fatalf("flood stats (%d,%d), sequential (%d,%d)",
+			sum, maxDepth, seq.FloodDepthSum(), seq.MaxFloodDepth())
+	}
+}
+
+// TestBatchKillClusterMatchesCore pins the message-built clustering
+// against core.ClusterDeletions on the identical batch: the union-find
+// over deletion snapshots and the distributed min-index relaxation must
+// partition the dead set identically.
+func TestBatchKillClusterMatchesCore(t *testing.T) {
+	const n, seed = 128, 11
+	master := rng.New(seed)
+	g := gen.BarabasiAlbert(n, 3, master.Split())
+	seq := core.NewState(g.Clone(), master.Split())
+	ids := make([]uint64, n)
+	for v := range ids {
+		ids[v] = seq.InitID(v)
+	}
+	nw := New(g.Clone(), ids)
+	defer nw.Close()
+
+	opR := master.Split()
+	for trial := 0; trial < 6; trial++ {
+		batch := pickBatch(seq.G, 3+opR.Intn(10), opR)
+		// Core-side clustering from the deletion snapshots, on a clone so
+		// the shared run stays in lockstep.
+		probe := core.NewState(seq.G.Clone(), rng.New(uint64(trial)+99))
+		clusters := core.ClusterDeletions(probe.RemoveBatch(batch))
+		wantRoots := map[int]bool{}
+		for _, cl := range clusters {
+			root := cl[0].Node
+			cands := false
+			for _, d := range cl {
+				if d.Node < root {
+					root = d.Node
+				}
+				for _, v := range d.GNbrs {
+					cands = cands || probe.G.Alive(v)
+				}
+			}
+			if cands {
+				wantRoots[root] = true
+			}
+		}
+
+		seq.DeleteBatchAndHeal(batch)
+		if err := nw.KillBatchWithTimeout(batch, testTimeout); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(nw.batchClusters) != len(wantRoots) {
+			t.Fatalf("trial %d: protocol healed %d clusters, core built %d",
+				trial, len(nw.batchClusters), len(wantRoots))
+		}
+		for _, c := range nw.batchClusters {
+			if !wantRoots[c.root] {
+				t.Fatalf("trial %d: protocol root %d not a core cluster root %v", trial, c.root, wantRoots)
+			}
+		}
+		assertStateEqual(t, trial, nw, seq)
+	}
+}
+
+// TestBatchKillEdgeCases covers the degenerate shapes: a singleton
+// batch, duplicate victims, and killing every remaining node at once
+// (no survivors, so no cluster is healed and the network just empties).
+func TestBatchKillEdgeCases(t *testing.T) {
+	const n, seed = 48, 5
+	master := rng.New(seed)
+	g := gen.BarabasiAlbert(n, 3, master.Split())
+	seq := core.NewState(g.Clone(), master.Split())
+	ids := make([]uint64, n)
+	for v := range ids {
+		ids[v] = seq.InitID(v)
+	}
+	nw := New(g.Clone(), ids)
+	defer nw.Close()
+
+	// Singleton batch with duplicates.
+	seq.DeleteBatchAndHeal([]int{3, 3, 3})
+	if err := nw.KillBatchWithTimeout([]int{3, 3, 3}, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	assertStateEqual(t, 1, nw, seq)
+
+	// Adjacent pair (one cluster with two members).
+	var pair []int
+	for _, v := range seq.G.AliveNodes() {
+		nbrs := seq.G.Neighbors(v)
+		if len(nbrs) > 0 {
+			pair = []int{v, int(nbrs[0])}
+			break
+		}
+	}
+	seq.DeleteBatchAndHeal(pair)
+	if err := nw.KillBatchWithTimeout(pair, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	assertStateEqual(t, 2, nw, seq)
+
+	// Apocalypse: every remaining node in one batch.
+	rest := seq.G.AliveNodes()
+	seq.DeleteBatchAndHeal(rest)
+	if err := nw.KillBatchWithTimeout(rest, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	snap := nw.Snapshot()
+	if snap.G.NumAlive() != 0 || seq.G.NumAlive() != 0 {
+		t.Fatalf("apocalypse left %d/%d alive", snap.G.NumAlive(), seq.G.NumAlive())
+	}
+	if rounds := seq.Rounds(); rounds != 3 {
+		t.Fatalf("sequential rounds = %d, want 3", rounds)
+	}
+	if _, _, rounds := nw.FloodStats(); rounds != 3 {
+		t.Fatalf("distributed rounds = %d, want 3", rounds)
+	}
+
+	// A dead victim must panic, mirroring core.RemoveBatch.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("batch-killing a dead node should panic")
+		}
+	}()
+	nw.KillBatch([]int{3})
+}

@@ -40,6 +40,13 @@
 //     the next attack lands. KillWithTimeout turns a hung round into an
 //     error carrying a full per-node mailbox dump instead of a deadlock.
 //
+// Batch kills: Network.KillBatch is footnote 1 as a protocol — a whole
+// victim set dies in one supervisor-staged epoch (cluster probes through
+// the dead set, candidate convergecast to cluster roots, tombstones plus
+// leader handoff, then per-cluster component probes, reports, binary-tree
+// wiring, and MINID floods), bit-identical to core.DeleteBatchAndHeal.
+// See batch.go and README.md for the stage-by-stage account.
+//
 // Churn: Network.Join is the arrival-side operation (the distributed
 // counterpart of core.State.Join). The supervisor spawns the newcomer's
 // goroutine and sends each attach target a join hello carrying the
@@ -117,6 +124,10 @@ type Network struct {
 	floodMax  int
 	rounds    int
 	closed    bool
+
+	// batchClusters collects, during a KillBatch commit stage, each dead
+	// cluster's root and elected surviving leader (see batch.go).
+	batchClusters []batchCluster
 }
 
 // New spawns a distributed DASH network over g. ids assigns each node
@@ -173,6 +184,7 @@ func assemble(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
 			pendingHello: make(map[int]map[int]uint64),
 			heals:        make(map[int]*healState),
 			floodRound:   -1,
+			probeRoot:    -1,
 		}
 		for _, u32 := range g.Neighbors(v) {
 			u := int(u32)
@@ -314,6 +326,7 @@ func (nw *Network) JoinWithTimeout(attachTo []int, id uint64, timeout time.Durat
 		pendingHello: make(map[int]map[int]uint64),
 		heals:        make(map[int]*healState),
 		floodRound:   -1,
+		probeRoot:    -1,
 	}
 	for _, u := range attach {
 		attachInfo[u] = nw.initIDs[u]

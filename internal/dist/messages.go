@@ -72,6 +72,77 @@ const (
 
 	// msgStop terminates a node goroutine (network shutdown).
 	msgStop
+
+	// Batch-kill epoch vocabulary (Network.KillBatch): the footnote-1
+	// generalization where a whole victim set dies between healing
+	// rounds. The supervisor stages the epoch on quiescence boundaries;
+	// these messages carry the per-stage protocol. See batch.go.
+
+	// msgBatchDie is the failure detector's batch order: enter dying
+	// mode. It carries the (shared, read-only) victim set so each victim
+	// can tell which neighbors are dying with it.
+	msgBatchDie
+
+	// msgBatchProbe starts the cluster probe: each victim announces its
+	// cluster-root guess (initially itself) to its dying neighbors.
+	msgBatchProbe
+
+	// msgClusterProbe is the dead-set relaxation wave: victims flood the
+	// minimum victim index through victim-victim edges, so every member
+	// of a connected dead cluster converges on the same root — the
+	// distributed analogue of core.ClusterDeletions' union-find.
+	msgClusterProbe
+
+	// msgBatchCollect orders each victim to report its surviving
+	// neighbors (the cluster's healing candidates) to its cluster root.
+	msgBatchCollect
+
+	// msgClusterJoin is one victim's candidate contribution, convergecast
+	// to the cluster root, which accumulates the union.
+	msgClusterJoin
+
+	// msgBatchCommit is the final victim stage: broadcast batch
+	// tombstones to surviving neighbors, and (roots only) hand the
+	// accumulated candidate set to the elected surviving leader — the
+	// lowest-initial-ID candidate — then turn zombie.
+	msgBatchCommit
+
+	// msgBatchNotice is the batch tombstone: like msgDeathNotice, but the
+	// survivor neither elects a leader nor reports — the cluster root has
+	// already appointed the leader, which will solicit reports later.
+	msgBatchNotice
+
+	// msgBatchLead is the dying root's handoff to the surviving leader:
+	// the cluster's candidate set with initial IDs. The leader parks it
+	// until the supervisor starts the cluster's heal.
+	msgBatchLead
+
+	// msgBatchHealStart (supervisor → leader) opens one cluster's heal:
+	// the leader orders every candidate to probe its G′ component.
+	msgBatchHealStart
+
+	// msgCompProbeStart (leader → candidate) seeds the G′ component
+	// probe: the candidate floods its own initial ID through G′.
+	msgCompProbeStart
+
+	// msgCompProbe is the G′ relaxation wave: nodes forward the smallest
+	// candidate initial ID seen, so after quiescence every candidate
+	// knows the minimum candidate ID of its (post-deletion, structural)
+	// G′ component — exactly the representative rule that
+	// core.DeleteBatchAndHeal computes from Gp.ComponentLabels().
+	msgCompProbe
+
+	// msgBatchHealWire (supervisor → leader) follows probe quiescence:
+	// the leader solicits heal reports, then wires the representatives as
+	// DASH's complete binary tree and floods MINID.
+	msgBatchHealWire
+
+	// msgBatchReportReq (leader → candidate) solicits one heal report.
+	msgBatchReportReq
+
+	// msgBatchReport is a candidate's answer: its healReport plus the
+	// component minimum its probe converged on (in the label field).
+	msgBatchReport
 )
 
 // healReport is what each orphan tells the leader about itself: exactly
@@ -121,10 +192,17 @@ type message struct {
 	hops  int
 
 	// msgNoNAdd / msgNoNRemove payload: the neighbor the sender
-	// gained/lost. msgNoNFull uses nonNbrs instead.
+	// gained/lost. msgNoNFull uses nonNbrs instead. msgClusterJoin and
+	// msgBatchLead reuse nonNbrs for candidate sets.
 	nonPeer       int
 	nonPeerInitID uint64
 	nonNbrs       map[int]uint64
+
+	// msgBatchDie payload: the shared, read-only victim set.
+	batch map[int]struct{}
+
+	// msgClusterProbe payload: the sender's cluster-root guess.
+	root int
 
 	// msgSnapshot reply channel.
 	reply chan nodeSnap
@@ -160,6 +238,34 @@ func (k msgKind) String() string {
 		return "snapshot"
 	case msgStop:
 		return "stop"
+	case msgBatchDie:
+		return "batch-die"
+	case msgBatchProbe:
+		return "batch-probe"
+	case msgClusterProbe:
+		return "cluster-probe"
+	case msgBatchCollect:
+		return "batch-collect"
+	case msgClusterJoin:
+		return "cluster-join"
+	case msgBatchCommit:
+		return "batch-commit"
+	case msgBatchNotice:
+		return "batch-notice"
+	case msgBatchLead:
+		return "batch-lead"
+	case msgBatchHealStart:
+		return "batch-heal-start"
+	case msgCompProbeStart:
+		return "comp-probe-start"
+	case msgCompProbe:
+		return "comp-probe"
+	case msgBatchHealWire:
+		return "batch-heal-wire"
+	case msgBatchReportReq:
+		return "batch-report-req"
+	case msgBatchReport:
+		return "batch-report"
 	}
 	return "unknown"
 }

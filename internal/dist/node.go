@@ -15,7 +15,11 @@ type nbrInfo struct {
 }
 
 // healState is the leader's per-round scratchpad while it collects the
-// orphans' heal reports and, later, the attach acks.
+// orphans' heal reports and, later, the attach acks. Batch-kill cluster
+// heals (keyed by the cluster root, a dead node index, so the keys never
+// collide with single-kill victims) reuse the same scratchpad: cands is
+// the candidate set handed over by the dying root, and compMin records
+// each candidate's G′ component minimum from the probe phase.
 type healState struct {
 	victimCurID uint64
 	expect      map[int]struct{} // orphans that must report; nil until the
@@ -24,6 +28,10 @@ type healState struct {
 	acksLeft int
 	rt       []healReport // the sorted reconnection set, kept for the flood
 	wired    bool
+
+	batch   bool           // this round heals a batch cluster
+	cands   map[int]uint64 // batch: cluster candidates -> initial IDs
+	compMin map[int]uint64 // batch: candidate -> its component's min candidate initID
 }
 
 // node is one network participant: a goroutine owning all of its state,
@@ -57,6 +65,24 @@ type node struct {
 	floodRound int
 	floodHops  int
 
+	// Batch-kill epoch state (victim side). A dying node stays live as a
+	// protocol participant through the staged epoch — cluster probe,
+	// candidate convergecast, commit — and then turns zombie: it keeps
+	// draining its mailbox (so late NoN gossip from survivors that had
+	// not yet processed every tombstone cannot wedge quiescence) but
+	// drops everything until the supervisor's msgStop.
+	dying     bool
+	zombie    bool
+	batchSet  map[int]struct{} // the epoch's victim set (shared, read-only)
+	batchRoot int              // smallest victim index in my dead cluster so far
+	batchCand map[int]uint64   // roots only: accumulated surviving candidates
+
+	// G′ component-probe state (survivor side, one cluster at a time):
+	// the cluster root the probe belongs to and the smallest candidate
+	// initial ID that has reached this node through G′.
+	probeRoot int
+	probeBest uint64
+
 	// Traffic counters, split the way the paper's accounting splits them.
 	msgSent   int64 // Lemma 8 label notifications
 	coordMsgs int64 // death notices, reports, attach orders/acks, flood
@@ -87,6 +113,20 @@ func (nd *node) run() {
 
 // handle dispatches one message; it reports true when the node must stop.
 func (nd *node) handle(msg message) bool {
+	if nd.zombie {
+		// A committed batch victim: only late NoN gossip from survivors
+		// that had not yet processed every tombstone can still arrive
+		// (and the supervisor's msgStop). Anything else is a protocol
+		// bug worth failing loudly on.
+		switch msg.kind {
+		case msgStop:
+			return true
+		case msgNoNRemove, msgNoNAdd, msgLabelNotify:
+			return false
+		default:
+			panic(fmt.Sprintf("dist: zombie %d got %v", nd.id, msg.kind))
+		}
+	}
 	switch msg.kind {
 	case msgDie:
 		nd.die()
@@ -139,6 +179,38 @@ func (nd *node) handle(msg message) bool {
 		}
 	case msgSnapshot:
 		msg.reply <- nd.snapshot()
+	case msgBatchDie:
+		nd.dying = true
+		nd.batchSet = msg.batch
+		nd.batchRoot = nd.id
+	case msgBatchProbe:
+		nd.onBatchProbe()
+	case msgClusterProbe:
+		nd.onClusterProbe(msg.root)
+	case msgBatchCollect:
+		nd.onBatchCollect()
+	case msgClusterJoin:
+		nd.onClusterJoin(msg.nonNbrs)
+	case msgBatchCommit:
+		nd.onBatchCommit()
+	case msgBatchNotice:
+		nd.onBatchNotice(msg.victim)
+	case msgBatchLead:
+		hs := nd.healFor(msg.victim)
+		hs.batch = true
+		hs.cands = msg.nonNbrs // built by the dying root; never mutated again
+	case msgBatchHealStart:
+		nd.onBatchHealStart(msg.victim)
+	case msgCompProbeStart:
+		nd.probeRelax(msg.victim, nd.initID)
+	case msgCompProbe:
+		nd.probeRelax(msg.victim, msg.label)
+	case msgBatchHealWire:
+		nd.onBatchHealWire(msg.victim)
+	case msgBatchReportReq:
+		nd.onBatchReportReq(msg.victim, msg.from)
+	case msgBatchReport:
+		nd.onBatchReport(msg.victim, msg.report, msg.label)
 	default:
 		panic(fmt.Sprintf("dist: node %d: unknown message kind %v", nd.id, msg.kind))
 	}
@@ -259,15 +331,6 @@ func (nd *node) maybeWire(x int, hs *healState) {
 	// candidate can absorb the whole set without exceeding the current
 	// maximum δ, else DASH's tree — the exact rule of core.SDASH.
 	var edges [][2]healReport
-	tree := func() {
-		for i := range rt {
-			for _, c := range []int{2*i + 1, 2*i + 2} {
-				if c < len(rt) {
-					edges = append(edges, [2]healReport{rt[i], rt[c]})
-				}
-			}
-		}
-	}
 	switch nd.nw.kind {
 	case HealSDASH:
 		w, m := rt[0], rt[len(rt)-1]
@@ -276,12 +339,32 @@ func (nd *node) maybeWire(x int, hs *healState) {
 				edges = append(edges, [2]healReport{w, v})
 			}
 		} else {
-			tree()
+			edges = treeEdges(rt)
 		}
 	default:
-		tree()
+		edges = treeEdges(rt)
 	}
+	nd.sendAttachOrders(x, hs, edges)
+}
 
+// treeEdges lays rt out as a complete binary tree (member i parents
+// members 2i+1 and 2i+2) — the wiring of core.State.WireBinaryTree.
+func treeEdges(rt []healReport) [][2]healReport {
+	var edges [][2]healReport
+	for i := range rt {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(rt) {
+				edges = append(edges, [2]healReport{rt[i], rt[c]})
+			}
+		}
+	}
+	return edges
+}
+
+// sendAttachOrders issues both endpoints' attach orders for every healing
+// edge of round x, or starts the MINID flood immediately when the round
+// adds no edges (|RT| ≤ 1).
+func (nd *node) sendAttachOrders(x int, hs *healState, edges [][2]healReport) {
 	if len(edges) == 0 {
 		nd.startFlood(x, hs)
 		return
@@ -325,8 +408,14 @@ func reconnectSet(hs *healState) []healReport {
 	for _, rep := range classRep {
 		rt = append(rt, rep)
 	}
-	// Insertion sort by (δ, initID); initial IDs are unique so the order
-	// is total and identical to core.State.SortByDelta.
+	sortByDeltaID(rt)
+	return rt
+}
+
+// sortByDeltaID insertion-sorts reports ascending by (δ, initID);
+// initial IDs are unique so the order is total and identical to
+// core.State.SortByDelta.
+func sortByDeltaID(rt []healReport) {
 	for i := 1; i < len(rt); i++ {
 		for j := i; j > 0; j-- {
 			a, b := rt[j-1], rt[j]
@@ -336,7 +425,6 @@ func reconnectSet(hs *healState) []healReport {
 			rt[j-1], rt[j] = b, a
 		}
 	}
-	return rt
 }
 
 // onAttach wires one endpoint of a healing edge: into G only when the
@@ -474,6 +562,201 @@ func (nd *node) onLabelFlood(victim int, label uint64, hops int) {
 		nd.coordMsgs++
 		nd.nw.send(w, message{kind: msgLabelFlood, from: nd.id, victim: victim, label: label, hops: hops + 1})
 	}
+}
+
+// --- Batch-kill epoch handlers (Network.KillBatch; see batch.go) ---
+
+// onBatchProbe starts the cluster probe: announce my current root guess
+// to every neighbor that is dying with me. The minimum victim index
+// relaxes through the dead set exactly like core.ClusterDeletions'
+// union-find, so each connected dead cluster converges on one root.
+func (nd *node) onBatchProbe() {
+	if !nd.dying {
+		panic(fmt.Sprintf("dist: node %d got batch probe order without dying", nd.id))
+	}
+	for w := range nd.gNbrs {
+		if _, dead := nd.batchSet[w]; dead {
+			nd.coordMsgs++
+			nd.nw.send(w, message{kind: msgClusterProbe, from: nd.id, root: nd.batchRoot})
+		}
+	}
+}
+
+// onClusterProbe relaxes the cluster-root guess and re-forwards on
+// improvement; the flood terminates because roots only ever shrink.
+func (nd *node) onClusterProbe(root int) {
+	if !nd.dying {
+		panic(fmt.Sprintf("dist: survivor %d got a cluster probe", nd.id))
+	}
+	if root >= nd.batchRoot {
+		return
+	}
+	nd.batchRoot = root
+	for w := range nd.gNbrs {
+		if _, dead := nd.batchSet[w]; dead {
+			nd.coordMsgs++
+			nd.nw.send(w, message{kind: msgClusterProbe, from: nd.id, root: root})
+		}
+	}
+}
+
+// onBatchCollect convergecasts this victim's surviving neighbors — the
+// cluster's healing candidates, with initial IDs from the local
+// adjacency — to the cluster root (possibly itself).
+func (nd *node) onBatchCollect() {
+	if !nd.dying {
+		panic(fmt.Sprintf("dist: node %d got batch collect without dying", nd.id))
+	}
+	cands := make(map[int]uint64)
+	for w, info := range nd.gNbrs {
+		if _, dead := nd.batchSet[w]; !dead {
+			cands[w] = info.initID
+		}
+	}
+	nd.coordMsgs++
+	nd.nw.send(nd.batchRoot, message{kind: msgClusterJoin, from: nd.id, nonNbrs: cands})
+}
+
+// onClusterJoin (roots only) accumulates the cluster's candidate union.
+func (nd *node) onClusterJoin(cands map[int]uint64) {
+	if nd.batchCand == nil {
+		nd.batchCand = make(map[int]uint64)
+	}
+	for v, id := range cands {
+		nd.batchCand[v] = id
+	}
+}
+
+// onBatchCommit is the victim's last act: tombstones to every surviving
+// neighbor, and — when this victim is a cluster root with at least one
+// candidate — the leader handoff: the lowest-initial-ID candidate gets
+// the candidate set and will run the cluster's heal. Clusters whose
+// members have no survivors are simply not healed, matching the
+// sequential engine's empty-candidate skip. The node then turns zombie
+// and archives its counters.
+func (nd *node) onBatchCommit() {
+	if !nd.dying {
+		panic(fmt.Sprintf("dist: node %d got batch commit without dying", nd.id))
+	}
+	for w := range nd.gNbrs {
+		if _, dead := nd.batchSet[w]; dead {
+			continue
+		}
+		nd.coordMsgs++
+		nd.nw.send(w, message{kind: msgBatchNotice, from: nd.id, victim: nd.id})
+	}
+	if nd.batchRoot == nd.id && len(nd.batchCand) > 0 {
+		leader := -1
+		var best uint64
+		for v, id := range nd.batchCand {
+			if leader < 0 || id < best {
+				leader, best = v, id
+			}
+		}
+		nd.nw.recordBatchCluster(nd.id, leader)
+		nd.coordMsgs++
+		nd.nw.send(leader, message{kind: msgBatchLead, from: nd.id, victim: nd.id, nonNbrs: nd.batchCand})
+	}
+	nd.zombie = true
+	nd.nw.storeFinal(nd.id, finalStats{nd.msgSent, nd.coordMsgs, nd.nonMsgs})
+}
+
+// onBatchNotice is the survivor side of a batch tombstone: drop the
+// victim from the local topology and gossip the loss. Unlike
+// onDeathNotice there is no election and no report — the dying root has
+// already appointed the cluster leader, which solicits reports once the
+// supervisor opens the cluster's heal.
+func (nd *node) onBatchNotice(x int) {
+	if _, ok := nd.gNbrs[x]; !ok {
+		panic(fmt.Sprintf("dist: node %d got batch notice for non-neighbor %d", nd.id, x))
+	}
+	delete(nd.gNbrs, x)
+	delete(nd.gpNbrs, x)
+	for w := range nd.gNbrs {
+		nd.nonMsgs++
+		nd.nw.send(w, message{kind: msgNoNRemove, from: nd.id, nonPeer: x})
+	}
+}
+
+// onBatchHealStart opens this cluster's heal: order every candidate to
+// probe its G′ component with its own initial ID.
+func (nd *node) onBatchHealStart(root int) {
+	hs, ok := nd.heals[root]
+	if !ok || !hs.batch {
+		panic(fmt.Sprintf("dist: node %d asked to lead unknown batch cluster %d", nd.id, root))
+	}
+	for v := range hs.cands {
+		nd.coordMsgs++
+		nd.nw.send(v, message{kind: msgCompProbeStart, from: nd.id, victim: root})
+	}
+}
+
+// probeRelax is the G′ component probe: keep (and re-forward) the
+// smallest candidate initial ID seen for the cluster's round. After
+// quiescence every candidate's probeBest is the minimum candidate ID of
+// its structural G′ component — candidates whose own ID equals it are
+// exactly the per-component representatives core.DeleteBatchAndHeal
+// picks from Gp.ComponentLabels().
+func (nd *node) probeRelax(root int, id uint64) {
+	if nd.probeRoot != root {
+		nd.probeRoot, nd.probeBest = root, id
+	} else if id < nd.probeBest {
+		nd.probeBest = id
+	} else {
+		return
+	}
+	for w := range nd.gpNbrs {
+		nd.coordMsgs++
+		nd.nw.send(w, message{kind: msgCompProbe, from: nd.id, victim: root, label: nd.probeBest})
+	}
+}
+
+// onBatchHealWire solicits every candidate's heal report now that the
+// component probes have quiesced.
+func (nd *node) onBatchHealWire(root int) {
+	hs := nd.heals[root]
+	hs.compMin = make(map[int]uint64, len(hs.cands))
+	for v := range hs.cands {
+		nd.coordMsgs++
+		nd.nw.send(v, message{kind: msgBatchReportReq, from: nd.id, victim: root})
+	}
+}
+
+// onBatchReportReq answers the leader with this candidate's heal report
+// and the component minimum its probe converged on.
+func (nd *node) onBatchReportReq(root, leader int) {
+	if nd.probeRoot != root {
+		panic(fmt.Sprintf("dist: node %d reporting for cluster %d but probed %d", nd.id, root, nd.probeRoot))
+	}
+	nd.coordMsgs++
+	nd.nw.send(leader, message{
+		kind: msgBatchReport, from: nd.id, victim: root, label: nd.probeBest,
+		report: healReport{from: nd.id, initID: nd.initID, curID: nd.curID, delta: nd.delta()},
+	})
+}
+
+// onBatchReport collects one candidate report; once all are in, the
+// leader wires the representatives. Batch clusters always use DASH's
+// complete binary tree — core.DeleteBatchAndHeal applies the batch-DASH
+// rule regardless of which healer handles single deletions — so this
+// path ignores the network's HealerKind.
+func (nd *node) onBatchReport(root int, rep healReport, compMin uint64) {
+	hs := nd.heals[root]
+	hs.reports[rep.from] = rep
+	hs.compMin[rep.from] = compMin
+	if hs.wired || len(hs.reports) < len(hs.cands) {
+		return
+	}
+	hs.wired = true
+	var rt []healReport
+	for v, r := range hs.reports {
+		if hs.compMin[v] == r.initID {
+			rt = append(rt, r)
+		}
+	}
+	sortByDeltaID(rt)
+	hs.rt = rt
+	nd.sendAttachOrders(root, hs, treeEdges(rt))
 }
 
 func (nd *node) snapshot() nodeSnap {

@@ -1,0 +1,48 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestBFSBall(t *testing.T) {
+	g := gen.BarabasiAlbert(64, 3, rng.New(3))
+	ball := g.BFSBall(0, 10)
+	if len(ball) != 10 || ball[0] != 0 {
+		t.Fatalf("ball = %v, want 10 nodes around 0", ball)
+	}
+	seen := map[int]bool{}
+	for _, v := range ball {
+		if seen[v] {
+			t.Fatalf("duplicate %d in ball %v", v, ball)
+		}
+		seen[v] = true
+	}
+	// Every non-center member must have a neighbor earlier in the ball
+	// (BFS order ⇒ the ball is connected).
+	for i, v := range ball[1:] {
+		ok := false
+		for _, u := range g.Neighbors(v) {
+			for _, w := range ball[:i+1] {
+				ok = ok || int(u) == w
+			}
+		}
+		if !ok {
+			t.Fatalf("ball member %d not attached to the prefix: %v", v, ball)
+		}
+	}
+
+	// The whole component when size exceeds it; nil for dead centers.
+	if got := g.BFSBall(0, 10_000); len(got) != g.NumAlive() {
+		t.Fatalf("oversized ball has %d nodes, want the whole component (%d)", len(got), g.NumAlive())
+	}
+	g.RemoveNode(5)
+	if got := g.BFSBall(5, 3); got != nil {
+		t.Fatalf("ball around dead center = %v, want nil", got)
+	}
+	if got := g.BFSBall(0, 0); got != nil {
+		t.Fatalf("zero-size ball = %v, want nil", got)
+	}
+}

@@ -1,0 +1,89 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestMaxDegreeIndexBasics hand-drives the index through the mutation
+// shapes it must survive: lazy degree drops, eager rises, ties broken by
+// index, dead-node discard, and join growth.
+func TestMaxDegreeIndexBasics(t *testing.T) {
+	g := graph.New(5)
+	// Star around 2, plus the 0-1 edge: degrees 2,2,4,1,1.
+	for _, v := range []int{0, 1, 3, 4} {
+		g.AddEdge(2, v)
+	}
+	g.AddEdge(0, 1)
+	ix := graph.NewMaxDegreeIndex(g)
+	if got := ix.Max(); got != 2 {
+		t.Fatalf("Max = %d, want hub 2", got)
+	}
+
+	// Kill the hub: degrees drop to 1,1,-,0,0 with no notification; the
+	// scan must demote lazily and land on the tie-break winner.
+	g.RemoveNode(2)
+	if got := ix.Max(); got != 0 {
+		t.Fatalf("after hub death Max = %d, want 0 (deg 1, smallest index)", got)
+	}
+
+	// Raise 4 above everyone; rises are reported.
+	g.AddEdge(4, 0)
+	g.AddEdge(4, 1)
+	g.AddEdge(4, 3)
+	for _, v := range []int{0, 1, 3, 4} {
+		ix.NoteRise(v)
+	}
+	if got := ix.Max(); got != 4 {
+		t.Fatalf("after rises Max = %d, want 4", got)
+	}
+
+	// A joining node that out-degrees the field.
+	v := g.AddNode()
+	for _, u := range []int{0, 1, 3, 4} {
+		g.AddEdge(v, u)
+		ix.NoteRise(u)
+	}
+	ix.NoteJoin(v)
+	if got, want := ix.Max(), g.MaxDegreeNode(); got != want {
+		t.Fatalf("after join Max = %d, naive %d", got, want)
+	}
+
+	// Empty the graph.
+	for _, u := range g.AliveNodes() {
+		g.RemoveNode(u)
+	}
+	if got := ix.Max(); got != -1 {
+		t.Fatalf("empty Max = %d, want -1", got)
+	}
+}
+
+// TestMaxDegreeIndexRandomized cross-checks Max against MaxDegreeNode
+// over random edge churn where every rise is reported and drops arrive
+// only through node removals.
+func TestMaxDegreeIndexRandomized(t *testing.T) {
+	r := rng.New(99)
+	g := gen.BarabasiAlbert(200, 3, r)
+	ix := graph.NewMaxDegreeIndex(g)
+	for step := 0; g.NumAlive() > 0; step++ {
+		if got, want := ix.Max(), g.MaxDegreeNode(); got != want {
+			t.Fatalf("step %d: Max = %d, naive %d", step, got, want)
+		}
+		alive := g.AliveNodes()
+		switch r.Intn(3) {
+		case 0: // add a random edge
+			if len(alive) >= 2 {
+				u, v := alive[r.Intn(len(alive))], alive[r.Intn(len(alive))]
+				if u != v && g.AddEdge(u, v) {
+					ix.NoteRise(u)
+					ix.NoteRise(v)
+				}
+			}
+		default: // remove a random node (drops stay unreported)
+			g.RemoveNode(alive[r.Intn(len(alive))])
+		}
+	}
+}

@@ -299,6 +299,33 @@ func (g *Graph) BFSInto(src int, dist []int32, queue []int32) []int32 {
 	return queue
 }
 
+// BFSBall returns up to size alive nodes forming a breadth-first ball
+// around center, center first — the correlated-failure shape of a rack
+// or region going down. If center's component is smaller than size the
+// whole component is returned; a dead or out-of-range center gives nil.
+// The scenario runner keeps its own epoch-stamped variant for the
+// per-event hot path; every other caller (cmd/dashdist disasters, batch
+// tests) should use this one so the ball semantics cannot drift apart.
+func (g *Graph) BFSBall(center, size int) []int {
+	if size <= 0 || !g.Alive(center) {
+		return nil
+	}
+	seen := map[int32]bool{int32(center): true}
+	ball := []int{center}
+	for head := 0; head < len(ball) && len(ball) < size; head++ {
+		for _, u := range g.adj[ball[head]] {
+			if !seen[u] {
+				seen[u] = true
+				ball = append(ball, int(u))
+				if len(ball) == size {
+					break
+				}
+			}
+		}
+	}
+	return ball
+}
+
 // ComponentLabels assigns each alive node a component label (the smallest
 // node index in its component); dead nodes get -1.
 func (g *Graph) ComponentLabels() []int {

@@ -1,23 +1,19 @@
 package scenario
 
-// The differential test harness: randomized scenario schedules run
-// through the sequential engine (internal/core, driven by the scenario
-// runner) and the distributed engine (internal/dist) in lockstep, with
-// exact equivalence — topology G, healing forest G′, every component
-// label, every δ — asserted after every mutating event. This extends
-// internal/dist's equivalence tests (fixed attacks, delete-only) to the
-// full insert/delete interleavings the scenario engine generates.
-//
-// Batch kills (PhaseDisaster) are excluded: the distributed protocol
-// implements the paper's one-failure-per-round model plus joins, not
-// the footnote-1 batch generalization.
+// Differential tests: randomized scenario schedules — now including
+// Disaster phases, the footnote-1 batch kills — replayed through the
+// sequential engine and the distributed engine in lockstep via
+// ReplayDifferential, which asserts exact G/G′/label/δ equality after
+// every mutating event and exact flood accounting at the end. This
+// extends internal/dist's equivalence tests (fixed attacks, delete-only)
+// to the full insert/delete/batch-kill interleavings the scenario engine
+// generates.
 
 import (
 	"testing"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -25,165 +21,111 @@ import (
 
 const diffTimeout = 20 * time.Second
 
-// seqOp is one concrete mutation the sequential runner performed,
-// captured through core hooks and replayed against the distributed
-// network.
-type seqOp struct {
-	kill   bool
-	node   int
-	attach []int
-	initID uint64
-}
-
-// randomSchedule draws a small mixed insert/delete/churn/quiet schedule.
+// randomSchedule draws a small mixed schedule. Every schedule contains
+// at least one Disaster phase, so each of the eight seeded differential
+// runs exercises the distributed batch-kill epoch.
 func randomSchedule(r *rng.RNG) Schedule {
 	nPhases := 3 + r.Intn(3)
-	phases := make([]Phase, 0, nPhases)
+	phases := make([]Phase, 0, nPhases+1)
 	for i := 0; i < nPhases; i++ {
-		switch r.Intn(4) {
+		switch r.Intn(5) {
 		case 0:
 			phases = append(phases, Quiet(1+r.Intn(3)))
 		case 1:
 			phases = append(phases, Attrition(3+r.Intn(8)))
 		case 2:
 			phases = append(phases, Growth(2+r.Intn(5), 1+r.Intn(3)))
+		case 3:
+			phases = append(phases, Disaster(1+r.Intn(2), 2+r.Intn(6)))
 		default:
 			phases = append(phases, Churn(4+r.Intn(8), 2+r.Intn(3), 1+r.Intn(3)))
 		}
+	}
+	hasDisaster := false
+	for _, p := range phases {
+		hasDisaster = hasDisaster || p.Kind == PhaseDisaster
+	}
+	if !hasDisaster {
+		at := r.Intn(len(phases) + 1)
+		phases = append(phases[:at], append([]Phase{Disaster(1+r.Intn(2), 2+r.Intn(6))}, phases[at:]...)...)
 	}
 	return Schedule{Name: "randomized", Phases: phases}
 }
 
 func TestDifferentialCoreVsDist(t *testing.T) {
-	kinds := []struct {
-		kind   dist.HealerKind
-		healer core.Healer
-	}{
-		{dist.HealDASH, core.DASH{}},
-		{dist.HealSDASH, core.SDASH{}},
-	}
-	for _, k := range kinds {
+	healers := []core.Healer{core.DASH{}, core.SDASH{}}
+	for _, healer := range healers {
 		for seed := uint64(1); seed <= 4; seed++ {
-			k, seed := k, seed
-			t.Run(k.healer.Name()+"/"+string(rune('0'+seed)), func(t *testing.T) {
+			healer, seed := healer, seed
+			t.Run(healer.Name()+"/"+string(rune('0'+seed)), func(t *testing.T) {
 				t.Parallel()
-				runDifferential(t, k.kind, k.healer, seed)
+				sc := randomSchedule(rng.New(seed * 7919))
+				t.Logf("schedule (%d events): %+v", sc.Events(), sc.Phases)
+				rep, err := ReplayDifferential(Config{
+					NewGraph:     func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(48, 3, r) },
+					Schedule:     sc,
+					Healer:       healer,
+					Seed:         seed,
+					MeasureEvery: -1, // equivalence only; no metrics sweeps
+				}, diffTimeout)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.BatchKills == 0 {
+					t.Fatalf("schedule replayed no batch kills: %+v", rep)
+				}
+				t.Logf("replayed %d events: %d kills, %d joins, %d batch epochs (%d killed), %d rounds",
+					rep.Events, rep.Kills, rep.Joins, rep.BatchKills, rep.Killed, rep.Rounds)
 			})
 		}
 	}
 }
 
-func runDifferential(t *testing.T, kind dist.HealerKind, healer core.Healer, seed uint64) {
-	scheduleR := rng.New(seed * 7919)
-	sc := randomSchedule(scheduleR)
-	events, err := sc.Compile()
+// TestDifferentialRejectsForeignHealer pins the healer mapping: a healer
+// with no distributed counterpart must fail fast, not diverge.
+func TestDifferentialRejectsForeignHealer(t *testing.T) {
+	_, err := ReplayDifferential(Config{
+		NewGraph: func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(16, 3, r) },
+		Schedule: Schedule{Name: "x", Phases: []Phase{Attrition(1)}},
+		Healer:   core.SDASHFull{},
+		Seed:     1,
+	}, diffTimeout)
+	if err == nil {
+		t.Fatal("SDASHFull has no distributed implementation and must be rejected")
+	}
+}
+
+// TestDisasterDifferential10k is the CI dist-disaster-smoke gate: a
+// disaster-heavy schedule at n = 10k replayed through both engines with
+// per-event equality checks. Eight correlated waves of ~n/64 nodes die
+// as batch epochs, followed by churn and an attrition tail. Skipped
+// under -short (the dedicated CI job runs it under -race with a
+// 10-minute timeout, mirroring the scenario-smoke gate).
+func TestDisasterDifferential10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disaster differential smoke is not a -short test")
+	}
+	const n = 10_000
+	sc := Schedule{Name: "disaster-10k", Phases: []Phase{
+		Quiet(1),
+		Disaster(8, n/64),
+		Churn(12, 3, 3),
+		Attrition(12),
+	}}
+	rep, err := ReplayDifferential(Config{
+		NewGraph:     func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, 3, r) },
+		Schedule:     sc,
+		Healer:       core.DASH{},
+		Seed:         1,
+		MeasureEvery: -1,
+	}, 5*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("schedule (%d events): %+v", len(events), sc.Phases)
-
-	const n = 48
-	var (
-		seqState *core.State
-		ops      []seqOp
-	)
-	cfg := Config{
-		NewGraph:     func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, 3, r) },
-		Schedule:     sc,
-		Healer:       healer,
-		Trials:       1,
-		Seed:         seed,
-		MeasureEvery: -1, // equivalence only; no metrics sweeps
-		Observe: func(_ int, s *core.State) {
-			seqState = s
-			s.SetHooks(&core.Hooks{
-				OnRemove: func(x int) {
-					ops = append(ops, seqOp{kill: true, node: x})
-				},
-				OnJoin: func(v int, attach []int) {
-					ops = append(ops, seqOp{
-						node:   v,
-						attach: append([]int(nil), attach...),
-						initID: s.InitID(v),
-					})
-				},
-			})
-		},
+	if rep.BatchKills != 8 || rep.Killed != 8*(n/64) {
+		t.Fatalf("expected 8 full waves (%d nodes), got %+v", 8*(n/64), rep)
 	}
-	master := rng.New(cfg.Seed)
-	run := newTrialRun(cfg, events, Uniform{}, 0, master.Split())
-	if seqState == nil {
-		t.Fatal("Observe never fired")
-	}
-	ids := make([]uint64, seqState.N())
-	for v := range ids {
-		ids[v] = seqState.InitID(v)
-	}
-	nw := dist.NewKind(seqState.G.Clone(), ids, kind)
-	defer nw.Close()
-
-	round := 0
-	for {
-		more := run.step()
-		// Replay everything the sequential engine just did onto the
-		// distributed network, then demand exact equivalence.
-		mutated := len(ops) > 0
-		for _, op := range ops {
-			round++
-			if op.kill {
-				if err := nw.KillWithTimeout(op.node, diffTimeout); err != nil {
-					t.Fatalf("round %d (kill %d): %v", round, op.node, err)
-				}
-			} else {
-				v, err := nw.JoinWithTimeout(op.attach, op.initID, diffTimeout)
-				if err != nil {
-					t.Fatalf("round %d (join): %v", round, err)
-				}
-				if v != op.node {
-					t.Fatalf("round %d: join index %d, sequential %d", round, v, op.node)
-				}
-			}
-		}
-		ops = ops[:0]
-		if mutated {
-			snap := nw.Snapshot()
-			if !snap.G.Equal(seqState.G) {
-				t.Fatalf("event %d: distributed G diverged", run.res.Events)
-			}
-			if !snap.Gp.Equal(seqState.Gp) {
-				t.Fatalf("event %d: distributed G′ diverged", run.res.Events)
-			}
-			if !snap.Gp.IsSubgraphOf(snap.G) {
-				t.Fatalf("event %d: G′ ⊄ G", run.res.Events)
-			}
-			for _, v := range seqState.G.AliveNodes() {
-				if snap.CurID[v] != seqState.CurID(v) {
-					t.Fatalf("event %d: node %d label %d, sequential %d",
-						run.res.Events, v, snap.CurID[v], seqState.CurID(v))
-				}
-				if snap.Delta[v] != seqState.Delta(v) {
-					t.Fatalf("event %d: node %d δ %d, sequential %d",
-						run.res.Events, v, snap.Delta[v], seqState.Delta(v))
-				}
-			}
-		}
-		if !more {
-			break
-		}
-	}
-	res := run.finish()
-	if res.Deletes == 0 || res.Inserts == 0 {
-		t.Logf("schedule exercised deletes=%d inserts=%d (still a valid differential run)",
-			res.Deletes, res.Inserts)
-	}
-	// The flood-depth accounting must agree too — joins must not have
-	// perturbed the Lemma 9 bookkeeping on either side.
-	sum, maxDepth, rounds := nw.FloodStats()
-	if rounds != seqState.Rounds() {
-		t.Fatalf("distributed saw %d healing rounds, sequential %d", rounds, seqState.Rounds())
-	}
-	if sum != seqState.FloodDepthSum() || maxDepth != seqState.MaxFloodDepth() {
-		t.Fatalf("flood stats (%d,%d), sequential (%d,%d)",
-			sum, maxDepth, seqState.FloodDepthSum(), seqState.MaxFloodDepth())
+	if rep.Kills == 0 || rep.Joins == 0 {
+		t.Fatalf("schedule should mix kills and joins: %+v", rep)
 	}
 }

@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestMaxDegreeIndexMatchesNaiveScan is the property test for the
+// degree-bucketed index: across seeded churn sequences — MaxNode kills
+// with DASH healing, random joins, and random batch kills — the index's
+// answer must equal the naive O(n) G.MaxDegreeNode() scan before every
+// event. The index only hears about degree rises (healed-edge endpoints
+// and join wiring); drops from deletions reach it lazily, which is
+// exactly the contract the scenario runner provides.
+func TestMaxDegreeIndexMatchesNaiveScan(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(string(rune('0'+seed)), func(t *testing.T) {
+			t.Parallel()
+			master := rng.New(seed)
+			g := gen.BarabasiAlbert(128, 3, master.Split())
+			s := core.NewState(g, master.Split())
+			ix := graph.NewMaxDegreeIndex(s.G)
+			opR := master.Split()
+
+			for step := 0; s.G.NumAlive() > 0; step++ {
+				want := s.G.MaxDegreeNode()
+				got := ix.Max()
+				if got != want {
+					t.Fatalf("step %d: index says %d (deg %d), naive scan %d (deg %d)",
+						step, got, s.G.Degree(got), want, s.G.Degree(want))
+				}
+				switch opR.Intn(4) {
+				case 0, 1: // MaxNode kill + DASH heal
+					hr := s.DeleteAndHeal(want, core.DASH{})
+					for _, e := range hr.Added {
+						ix.NoteRise(e[0])
+						ix.NoteRise(e[1])
+					}
+				case 2: // join to up to 3 random targets
+					alive := s.G.AliveNodes()
+					k := 1 + opR.Intn(3)
+					if k > len(alive) {
+						k = len(alive)
+					}
+					attachTo := make([]int, 0, k)
+					for len(attachTo) < k {
+						u := alive[opR.Intn(len(alive))]
+						dup := false
+						for _, w := range attachTo {
+							dup = dup || w == u
+						}
+						if !dup {
+							attachTo = append(attachTo, u)
+						}
+					}
+					v := s.Join(attachTo, opR)
+					ix.NoteJoin(v)
+					for _, u := range attachTo {
+						ix.NoteRise(u)
+					}
+				case 3: // batch kill of up to 5 random victims
+					alive := s.G.AliveNodes()
+					k := 1 + opR.Intn(5)
+					if k > len(alive) {
+						k = len(alive)
+					}
+					batch := make([]int, 0, k)
+					seen := map[int]bool{}
+					for len(batch) < k {
+						v := alive[opR.Intn(len(alive))]
+						if !seen[v] {
+							seen[v] = true
+							batch = append(batch, v)
+						}
+					}
+					hr := s.DeleteBatchAndHeal(batch)
+					for _, e := range hr.Added {
+						ix.NoteRise(e[0])
+						ix.NoteRise(e[1])
+					}
+				}
+			}
+			if got := ix.Max(); got != -1 {
+				t.Fatalf("empty graph: index says %d, want -1", got)
+			}
+		})
+	}
+}
+
+// TestMaxDegreePolicyMatchesFromAttack pins the end-to-end contract:
+// running the same schedule with the bucketed MaxDegree policy and with
+// the naive FromAttack adapter must produce identical trial results —
+// same victims, same heals, same everything.
+func TestMaxDegreePolicyMatchesFromAttack(t *testing.T) {
+	sc := Schedule{Name: "mixed", Phases: []Phase{
+		Attrition(20),
+		Growth(8, 3),
+		Disaster(2, 5),
+		Churn(30, 3, 2),
+		Attrition(20),
+	}}
+	base := Config{
+		NewGraph:          func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(96, 3, r) },
+		Schedule:          sc,
+		Healer:            core.DASH{},
+		Trials:            3,
+		Seed:              42,
+		TrackConnectivity: true,
+	}
+
+	fast := base
+	fast.NewVictim = NewMaxDegree
+	naive := base
+	naive.NewVictim = func() VictimPolicy { return FromAttack{S: attack.MaxDegree{}} }
+
+	fastRes, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveRes, err := Run(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastRes.VictimName != naiveRes.VictimName {
+		t.Fatalf("policy names differ: %q vs %q", fastRes.VictimName, naiveRes.VictimName)
+	}
+	for i := range fastRes.Trials {
+		f, n := fastRes.Trials[i], naiveRes.Trials[i]
+		if !reflect.DeepEqual(f, n) {
+			t.Fatalf("trial %d diverged:\nbucketed: %+v\nnaive:    %+v", i, f, n)
+		}
+	}
+}

@@ -102,7 +102,8 @@ func (Uniform) Pick(_ *core.State, alive *AliveSet, r *rng.RNG) int {
 // FromAttack adapts an attack.Strategy to a VictimPolicy, so the paper's
 // adversaries (MaxDegree, NeighborOfMax, CutVertex, …) can drive
 // scenario deletions. Most strategies scan all nodes per pick, so this
-// is for moderate sizes; use Uniform at 10⁵+.
+// is for moderate sizes; at 10⁵+ use Uniform, or MaxDegree (this
+// package's bucketed-index MaxNode) instead of FromAttack{attack.MaxDegree{}}.
 type FromAttack struct{ S attack.Strategy }
 
 // Name implements VictimPolicy.
@@ -379,6 +380,7 @@ func (t *trialRun) doDelete(event int) {
 	t.res.Deletes++
 	t.res.EdgesAdded += len(hr.Added)
 	t.notePeak(hr.Added)
+	t.noteHeal(hr.Added)
 	if t.conn != nil {
 		t.conn.AfterDelete(t.s.G, t.nbrScratch, event)
 	}
@@ -406,6 +408,9 @@ func (t *trialRun) doInsert(size int) {
 	v := t.s.Join(attach, t.opR)
 	t.alive.Add(v)
 	t.res.Inserts++
+	if obs, ok := t.victim.(HealObserver); ok {
+		obs.ObserveJoin(t.s, v, attach)
+	}
 	// The attach targets each gained a G edge; δ can only have risen
 	// there (the newcomer itself starts at δ = 0).
 	for _, u := range attach {
@@ -436,6 +441,7 @@ func (t *trialRun) doBatchKill(event, size int) {
 	t.res.Killed += len(batch)
 	t.res.EdgesAdded += len(hr.Added)
 	t.notePeak(hr.Added)
+	t.noteHeal(hr.Added)
 	if t.conn != nil {
 		t.conn.AfterBatch(t.s.G, boundary, event)
 	}
@@ -444,7 +450,9 @@ func (t *trialRun) doBatchKill(event, size int) {
 // sampleBall collects up to size alive nodes forming a BFS ball around a
 // random epicenter — the correlated-failure shape of a rack or region
 // going down. If the epicenter's component is smaller than size, the
-// whole component dies.
+// whole component dies. It is graph.BFSBall with epoch-stamped reusable
+// scratch (this runs once per disaster event on 10⁵–10⁶-node graphs);
+// any change to ball semantics must land in both.
 func (t *trialRun) sampleBall(size int) []int {
 	if size > t.alive.Len() {
 		size = t.alive.Len()
@@ -505,6 +513,17 @@ func (t *trialRun) notePeak(added [][2]int) {
 		if d := t.s.Delta(e[1]); d > t.res.PeakDelta {
 			t.res.PeakDelta = d
 		}
+	}
+}
+
+// noteHeal forwards freshly added healing edges to an index-maintaining
+// victim policy (degree rises are exactly these endpoints).
+func (t *trialRun) noteHeal(added [][2]int) {
+	if len(added) == 0 {
+		return
+	}
+	if obs, ok := t.victim.(HealObserver); ok {
+		obs.ObserveHeal(t.s, added)
 	}
 }
 
