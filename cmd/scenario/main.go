@@ -16,12 +16,16 @@
 // through the sequential engine AND the distributed goroutine-per-node
 // engine in lockstep — batch kills included, via the staged batch-kill
 // epoch — with exact G/G′/label/δ equality checked after every mutating
-// event (keep n moderate; every node is a goroutine).
+// event (keep n moderate; every node is a goroutine). Adding -pipelined
+// issues the mutations asynchronously in windows instead, so disjoint
+// heal epochs overlap on the wire, and checks the same exact
+// equivalence at every window flush.
 //
 // Examples:
 //
 //	scenario -preset disaster -n 100000
 //	scenario -preset disaster -n 2000 -differential
+//	scenario -preset sustained-churn -n 2000 -differential -pipelined
 //	scenario -preset sustained-churn -n 50000 -heal SDASH -trials 4 -out churn.jsonl
 //	scenario -preset flash-crowd -n 512 -victim MaxNode -trace trace.jsonl
 package main
@@ -64,10 +68,19 @@ func main() {
 		out       = flag.String("out", "", "write checkpoint JSONL to this file ('-' = stdout)")
 		tracePath = flag.String("trace", "", "write trial 0's mutation trace as JSONL to this file")
 		diff      = flag.Bool("differential", false, "replay trial 0 through the sequential AND distributed engines in lockstep, verifying exact equality per event (DASH/SDASH only; keep n moderate)")
+		pipelined = flag.Bool("pipelined", false, "with -differential: issue mutations asynchronously in windows so heal epochs overlap, checking equality at window flushes")
 	)
 	flag.Parse()
+	if *pipelined && !*diff {
+		fmt.Fprintln(os.Stderr, "scenario: -pipelined requires -differential")
+		os.Exit(1)
+	}
 	if *diff {
-		if err := runDifferential(os.Stdout, *preset, *n, *healName, *victim, *seed); err != nil {
+		mode := scenario.Lockstep
+		if *pipelined {
+			mode = scenario.Pipelined
+		}
+		if err := runDifferential(os.Stdout, *preset, *n, *healName, *victim, *seed, mode); err != nil {
 			fmt.Fprintln(os.Stderr, "scenario:", err)
 			os.Exit(1)
 		}
@@ -105,7 +118,7 @@ func victimPolicy(victim string) (func() scenario.VictimPolicy, error) {
 // runDifferential replays a preset differentially: the scenario runner
 // drives the sequential engine, every mutation is mirrored onto the
 // distributed network, and any divergence is an error.
-func runDifferential(w io.Writer, preset string, n int, healName, victim string, seed uint64) error {
+func runDifferential(w io.Writer, preset string, n int, healName, victim string, seed uint64, mode scenario.DiffMode) error {
 	sc, err := scenario.Preset(preset, n)
 	if err != nil {
 		return err
@@ -118,19 +131,23 @@ func runDifferential(w io.Writer, preset string, n int, healName, victim string,
 	if err != nil {
 		return err
 	}
-	rep, err := scenario.ReplayDifferential(scenario.Config{
+	rep, err := scenario.ReplayDifferentialMode(scenario.Config{
 		NewGraph:     func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, 3, r) },
 		Schedule:     sc,
 		Healer:       healer,
 		NewVictim:    newVictim,
 		Seed:         seed,
 		MeasureEvery: -1,
-	}, 5*time.Minute)
+	}, mode, 5*time.Minute)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "differential replay of %q (n=%d, %s healing, %s victims): engines agreed on every event\n",
-		preset, n, healName, victimName(victim))
+	how := "in lockstep on every event"
+	if mode == scenario.Pipelined {
+		how = fmt.Sprintf("at every %d-op pipelined flush", scenario.DefaultDiffWindow)
+	}
+	fmt.Fprintf(w, "differential replay of %q (n=%d, %s healing, %s victims): engines agreed %s\n",
+		preset, n, healName, victimName(victim), how)
 	fmt.Fprintf(w, "  %d events: %d kills, %d joins, %d batch epochs killing %d nodes, %d healing rounds\n",
 		rep.Events, rep.Kills, rep.Joins, rep.BatchKills, rep.Killed, rep.Rounds)
 	return nil

@@ -108,19 +108,32 @@ func TestRunSmall(t *testing.T) {
 // say so.
 func TestRunDifferential(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runDifferential(&buf, "disaster", 256, "DASH", "MaxNode", 3); err != nil {
+	if err := runDifferential(&buf, "disaster", 256, "DASH", "MaxNode", 3, scenario.Lockstep); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "engines agreed") || !strings.Contains(out, "batch epochs") ||
+	if !strings.Contains(out, "engines agreed in lockstep") || !strings.Contains(out, "batch epochs") ||
 		!strings.Contains(out, "MaxNode victims") {
 		t.Fatalf("unexpected differential summary:\n%s", out)
 	}
-	if err := runDifferential(&buf, "disaster", 64, "GraphHeal", "Uniform", 1); err == nil {
+	if err := runDifferential(&buf, "disaster", 64, "GraphHeal", "Uniform", 1, scenario.Lockstep); err == nil {
 		t.Error("healers without a distributed counterpart must be rejected")
 	}
-	if err := runDifferential(&buf, "disaster", 64, "DASH", "NoSuchVictim", 1); err == nil {
+	if err := runDifferential(&buf, "disaster", 64, "DASH", "NoSuchVictim", 1, scenario.Lockstep); err == nil {
 		t.Error("unknown victim policies must be rejected")
+	}
+}
+
+// TestRunDifferentialPipelined drives the -differential -pipelined
+// path: the same preset with mutations issued asynchronously in
+// windows, equivalence checked at every flush.
+func TestRunDifferentialPipelined(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runDifferential(&buf, "sustained-churn", 256, "DASH", "Uniform", 5, scenario.Pipelined); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pipelined flush") {
+		t.Fatalf("unexpected pipelined differential summary:\n%s", buf.String())
 	}
 }
 

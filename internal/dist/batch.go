@@ -6,9 +6,9 @@ package dist
 // connected cluster of the dead set as one super-deletion, computing
 // bit-for-bit the state core.DeleteBatchAndHeal produces.
 //
-// The supervisor stages the epoch on quiescence boundaries — the same
-// conservation counter Kill and Join block on — so each stage's messages
-// have all been processed before the next stage's are sent:
+// The epoch pipeline stages the batch on its own per-epoch quiescence
+// boundaries — each stage's messages have all been processed before the
+// next stage's are sent, without the rest of the network going quiet:
 //
 //  1. Die. Every victim learns the victim set and enters dying mode.
 //  2. Cluster probe. Victims flood the minimum victim index through
@@ -22,25 +22,24 @@ package dist
 //     neither elect nor report); each root appoints the cluster's
 //     surviving leader — the lowest-initial-ID candidate — and hands it
 //     the candidate set. Victims then turn zombie and are stopped.
-//  5. Heal, one cluster at a time in ascending root order (the order
-//     the sequential engine heals them, so interleaved δ/label updates
-//     agree). Per cluster: the leader orders a G′ component probe (a
-//     min-candidate-initial-ID relaxation flood, the structural
-//     equivalent of Gp.ComponentLabels — stale labels cannot tell apart
-//     the fragments a multi-node deletion splits a G′ tree into), then
-//     collects heal reports, wires one representative per component as
-//     DASH's complete binary tree, and floods MINID over the
-//     reconnection set exactly as a single-kill round does.
+//  5. Heal, one child epoch per cluster. Per cluster: the leader orders
+//     a G′ component probe (a min-candidate-initial-ID relaxation
+//     flood, the structural equivalent of Gp.ComponentLabels — stale
+//     labels cannot tell apart the fragments a multi-node deletion
+//     splits a G′ tree into), then collects heal reports, wires one
+//     representative per component as DASH's complete binary tree, and
+//     floods MINID exactly as a single-kill round does. Clusters whose
+//     heal regions are disjoint run concurrently; intersecting clusters
+//     chain in ascending root order — the order core.DeleteBatchAndHeal
+//     processes them, which matters because each cluster's heal changes
+//     the δs, labels, and G′ components the next cluster's heal
+//     observes. See pipeline.go.
 //
 // Lemma 9 accounting matches the sequential engine's: each cluster's
 // MINID wave contributes its own depth to the flood sums, and the whole
 // epoch counts as one round.
 
-import (
-	"fmt"
-	"sort"
-	"time"
-)
+import "time"
 
 // batchCluster is one dead cluster's supervisor-side record: its root
 // (smallest member index) and the surviving leader the root appointed.
@@ -48,18 +47,19 @@ type batchCluster struct {
 	root, leader int
 }
 
-// recordBatchCluster notes a cluster's elected leader; called by dying
-// roots during the commit stage (like recordFloodDepth, supervisor-side
-// bookkeeping written by node goroutines under the network mutex).
-func (nw *Network) recordBatchCluster(root, leader int) {
+// recordBatchCluster notes a cluster's elected leader under its batch
+// epoch; called by dying roots during the commit stage (like
+// recordFloodDepth, supervisor-side bookkeeping written by node
+// goroutines under the network mutex).
+func (nw *Network) recordBatchCluster(epoch uint64, root, leader int) {
 	nw.mu.Lock()
-	nw.batchClusters = append(nw.batchClusters, batchCluster{root, leader})
+	nw.batchClusters[epoch] = append(nw.batchClusters[epoch], batchCluster{root, leader})
 	nw.mu.Unlock()
 }
 
 // KillBatch deletes every node in vs simultaneously and blocks until the
 // whole batch epoch — correlated death notices, per-cluster leader
-// election, cluster heals — has quiesced, like the sequential engine's
+// election, cluster heals — has completed, like the sequential engine's
 // DeleteBatchAndHeal. Duplicates are ignored; it panics if any victim is
 // dead (mirroring core.State.RemoveBatch) or if the epoch wedges.
 func (nw *Network) KillBatch(vs []int) {
@@ -72,113 +72,12 @@ func (nw *Network) KillBatch(vs []int) {
 // the whole epoch. On timeout it returns an error naming the wedged
 // stage and carrying the diagnostic dump.
 func (nw *Network) KillBatchWithTimeout(vs []int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	return nw.KillBatchAsync(vs).Wait(timeout)
+}
 
-	set := make(map[int]struct{}, len(vs))
-	batch := make([]int, 0, len(vs))
-	nw.mu.Lock()
-	for _, v := range vs {
-		if _, dup := set[v]; dup {
-			continue
-		}
-		if v < 0 || v >= nw.n || nw.dead[v] {
-			nw.mu.Unlock()
-			panic(fmt.Sprintf("dist: batch-killing dead node %d", v))
-		}
-		set[v] = struct{}{}
-		batch = append(batch, v)
-	}
-	nw.batchClusters = nw.batchClusters[:0]
-	nw.mu.Unlock()
-	if len(batch) == 0 {
-		// An empty batch is still a round, as in the sequential engine.
-		nw.mu.Lock()
-		nw.rounds++
-		nw.mu.Unlock()
-		return nil
-	}
-
-	stage := func(name string, send func()) error {
-		send()
-		if !nw.track.wait(time.Until(deadline)) {
-			return fmt.Errorf("dist: batch epoch stage %q did not quiesce within %v\n%s",
-				name, timeout, nw.DumpState())
-		}
-		return nil
-	}
-	broadcast := func(kind msgKind) func() {
-		return func() {
-			for _, v := range batch {
-				nw.send(v, message{kind: kind, batch: set})
-			}
-		}
-	}
-
-	// Victim stages. The die stage is separate from the probe stage so
-	// that no victim can receive a cluster probe before it has learned
-	// the victim set (supervisor sends and peer probes are not ordered
-	// relative to each other).
-	if err := stage("die", broadcast(msgBatchDie)); err != nil {
-		return err
-	}
-	if err := stage("cluster-probe", broadcast(msgBatchProbe)); err != nil {
-		return err
-	}
-	if err := stage("collect", broadcast(msgBatchCollect)); err != nil {
-		return err
-	}
-	if err := stage("commit", broadcast(msgBatchCommit)); err != nil {
-		return err
-	}
-
-	// The victims are gone from every survivor's adjacency; mark them
-	// dead and reap the zombie goroutines.
-	nw.mu.Lock()
-	for _, v := range batch {
-		nw.dead[v] = true
-	}
-	clusters := append([]batchCluster(nil), nw.batchClusters...)
-	nw.mu.Unlock()
-	if err := stage("stop", broadcast(msgStop)); err != nil {
-		return err
-	}
-
-	// Heal the clusters in ascending root order — the order
-	// core.DeleteBatchAndHeal processes them, which matters because each
-	// cluster's heal changes the δs, labels, and G′ components the next
-	// cluster's heal observes.
-	sort.Slice(clusters, func(i, j int) bool { return clusters[i].root < clusters[j].root })
-	for _, c := range clusters {
-		if err := stage(fmt.Sprintf("probe[%d]", c.root), func() {
-			nw.send(c.leader, message{kind: msgBatchHealStart, victim: c.root})
-		}); err != nil {
-			return err
-		}
-		if err := stage(fmt.Sprintf("wire[%d]", c.root), func() {
-			nw.send(c.leader, message{kind: msgBatchHealWire, victim: c.root})
-		}); err != nil {
-			return err
-		}
-		// Per-cluster Lemma 9 accounting, mirroring the sequential
-		// engine's one PropagateMinID call per cluster.
-		nw.mu.Lock()
-		depth := 0
-		for _, h := range nw.roundHops {
-			if h > depth {
-				depth = h
-			}
-		}
-		clear(nw.roundHops)
-		nw.floodSum += int64(depth)
-		if depth > nw.floodMax {
-			nw.floodMax = depth
-		}
-		nw.mu.Unlock()
-	}
-
-	// The whole epoch is one round, however many clusters it healed.
-	nw.mu.Lock()
-	nw.rounds++
-	nw.mu.Unlock()
-	return nil
+// KillBatchAsync schedules the batch deletion as a pipelined epoch and
+// returns immediately; the returned handle completes when every
+// cluster's heal has drained.
+func (nw *Network) KillBatchAsync(vs []int) *Epoch {
+	return nw.pipe.issueBatch(vs)
 }

@@ -165,7 +165,7 @@ func runBatchEquivalence(t *testing.T, kind HealerKind, healer core.Healer, n in
 				t.Fatalf("round %d (batch %v): %v", round, batch, err)
 			}
 			got := make([]int, 0, len(roots))
-			for _, c := range nw.batchClusters {
+			for _, c := range nw.lastClusters {
 				got = append(got, c.root)
 			}
 			sortInts(got)
@@ -264,11 +264,11 @@ func TestBatchKillClusterMatchesCore(t *testing.T) {
 		if err := nw.KillBatchWithTimeout(batch, testTimeout); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if len(nw.batchClusters) != len(wantRoots) {
+		if len(nw.lastClusters) != len(wantRoots) {
 			t.Fatalf("trial %d: protocol healed %d clusters, core built %d",
-				trial, len(nw.batchClusters), len(wantRoots))
+				trial, len(nw.lastClusters), len(wantRoots))
 		}
-		for _, c := range nw.batchClusters {
+		for _, c := range nw.lastClusters {
 			if !wantRoots[c.root] {
 				t.Fatalf("trial %d: protocol root %d not a core cluster root %v", trial, c.root, wantRoots)
 			}

@@ -17,7 +17,7 @@
 //     locality assumption made concrete.
 //  2. Leader election, for free. Each orphan locally picks the orphan
 //     with the smallest initial ID from its NoN view of the victim —
-//     quiescence between rounds keeps those views identical, so all
+//     epoch scheduling keeps those views identical (see below), so all
 //     orphans elect the same leader with zero election messages — and
 //     sends the leader a heal report (its initial ID, current label, δ,
 //     and whether its lost edge was a G′ edge).
@@ -32,34 +32,48 @@
 //     reconnection-set member that must adopt it; adopters notify all G
 //     neighbors (the Lemma 8 traffic, counted in Snapshot.MsgSent) and
 //     forward the hop-tagged wave through G′.
-//  5. Quiescence. A conservation counter over in-flight messages —
-//     incremented at send, decremented only after a handler (and thus
-//     all sends it caused) finished — reaches zero exactly when no
-//     message is queued or in processing anywhere. Kill blocks on that,
-//     so rounds never overlap and the NoN tables are consistent when
-//     the next attack lands. KillWithTimeout turns a hung round into an
-//     error carrying a full per-node mailbox dump instead of a deadlock.
+//  5. Epoch completion. Every message carries the epoch ID of the
+//     kill/join/batch operation it serves, and a per-epoch conservation
+//     counter — incremented at send, decremented only after a handler
+//     (and thus all sends it caused) finished — reaches zero exactly
+//     when none of the epoch's messages is queued or in processing
+//     anywhere. That per-epoch quiescence replaces the old global
+//     barrier: there is no network-wide quiet point between rounds.
+//
+// Pipelined epochs. Operations no longer run one-at-a-time: the
+// supervisor's epoch scheduler (pipeline.go) lets any two operations
+// whose conflict regions are disjoint run fully concurrently — a new
+// deletion's epoch starts while a prior MINID flood is still draining
+// elsewhere, and a batch epoch's dead clusters heal in parallel instead
+// of in strict root order. Conflicting epochs are chained in issue
+// order, which is what keeps every node's reads (labels, δ, NoN views)
+// identical to the sequential engine's and the healed state bit-exact.
+// KillAsync/JoinAsync/KillBatchAsync expose the pipelined form; Kill,
+// Join and KillBatch are blocking wrappers that wait for their own
+// epoch only. internal/dist/modelcheck exhaustively enumerates message
+// interleavings of overlapping epochs on small networks and asserts
+// every schedule converges to the sequential core result.
 //
 // Batch kills: Network.KillBatch is footnote 1 as a protocol — a whole
 // victim set dies in one supervisor-staged epoch (cluster probes through
 // the dead set, candidate convergecast to cluster roots, tombstones plus
-// leader handoff, then per-cluster component probes, reports, binary-tree
-// wiring, and MINID floods), bit-identical to core.DeleteBatchAndHeal.
-// See batch.go and README.md for the stage-by-stage account.
+// leader handoff, then zombie; per cluster the leader drives a G′
+// component-probe relaxation flood, collects heal reports, wires
+// representatives as the batch-DASH binary tree, and MINID-floods),
+// bit-identical to core.DeleteBatchAndHeal. Disjoint clusters heal
+// concurrently under their own child epochs. See batch.go and README.md.
 //
 // Churn: Network.Join is the arrival-side operation (the distributed
 // counterpart of core.State.Join). The supervisor spawns the newcomer's
 // goroutine and sends each attach target a join hello carrying the
 // newcomer's initial ID and attach set; targets wire the edge, gossip
 // the gain into the NoN tables, and ack back their own label and
-// neighborhood. Join blocks on the same quiescence counter as Kill, so
-// scenario schedules can interleave arrivals and deletions freely while
-// staying bit-identical to the sequential engine (the scenario
-// differential tests in internal/scenario assert exactly that).
+// neighborhood.
 //
 // Snapshot assembles a global view (topologies G and G′, labels, δ, and
 // the per-node traffic counters) by querying every live actor; it is
-// instrumentation, not part of the protocol.
+// instrumentation, not part of the protocol, and is only meaningful
+// after Drain (or between blocking calls).
 package dist
 
 import (
@@ -67,6 +81,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -85,8 +100,8 @@ const (
 	HealSDASH
 )
 
-// DefaultKillTimeout is how long Kill waits for a healing round to
-// quiesce before declaring the protocol wedged.
+// DefaultKillTimeout is how long the blocking operations wait for their
+// epoch to complete before declaring the protocol wedged.
 const DefaultKillTimeout = 30 * time.Second
 
 // finalStats archives a dead node's traffic counters so Snapshot can
@@ -99,35 +114,54 @@ type finalStats struct {
 }
 
 // Network is the supervisor for a set of node goroutines: it injects
-// failures, detects quiescence, and assembles snapshots. All protocol
-// state lives inside the nodes.
+// failures, schedules epochs, and assembles snapshots. All protocol
+// state lives inside the nodes; all scheduling state lives in the
+// epoch pipeline.
 type Network struct {
-	kind    HealerKind
-	n       int
-	nodes   []*node
-	initIDs []uint64 // immutable per slot; the supervisor's ID ledger
-	track   *tracker
-	wg      sync.WaitGroup
+	kind  HealerKind
+	track *tracker
+	pipe  *pipeline
+	wg    sync.WaitGroup
+
+	// nodes holds the current node slice behind an atomic pointer:
+	// pipelined joins append to it while other epochs' goroutines are
+	// sending, so readers take a consistent snapshot instead of racing
+	// a slice append.
+	nodes atomic.Pointer[[]*node]
+
+	// manual marks a network whose node goroutines were never started
+	// (assemble-only: ordering tests and the deterministic Sim drive
+	// handlers directly). Joins then skip spawning the newcomer.
+	manual bool
 
 	// testDrop, when non-nil, simulates lossy transport: a message it
 	// returns true for is counted in flight but never delivered, so the
-	// round visibly fails to quiesce instead of silently mis-healing.
+	// epoch visibly fails to complete instead of silently mis-healing.
 	// Tests set it immediately after NewKind, before any Kill.
 	testDrop func(to int, msg message) bool
 
+	// msgKindSent counts sends per message kind (atomic), the
+	// instrumentation behind the Lemma-8-style probe accounting tests.
+	msgKindSent [msgKindCount]int64
+
 	mu        sync.Mutex
-	dead      []bool // rounds completed: Kill succeeded for this node
-	exited    []bool // the node goroutine has stopped (set by the node itself)
+	n         int
+	initIDs   []uint64 // immutable per slot; the supervisor's ID ledger
+	dead      []bool   // epoch completed: the kill of this node succeeded
+	exited    []bool   // the node goroutine has stopped (set by the node itself)
 	deadStats []finalStats
-	roundHops map[int]int // this round's adopters -> min hop distance
+	epochHops map[uint64]map[int]int // per-epoch adopters -> min hop distance
 	floodSum  int64
 	floodMax  int
 	rounds    int
 	closed    bool
 
-	// batchClusters collects, during a KillBatch commit stage, each dead
-	// cluster's root and elected surviving leader (see batch.go).
-	batchClusters []batchCluster
+	// batchClusters collects, per batch epoch during its commit stage,
+	// each dead cluster's root and elected surviving leader (see
+	// batch.go). lastClusters snapshots the most recent batch epoch's
+	// records for the protocol-vs-union-find cross-check tests.
+	batchClusters map[uint64][]batchCluster
+	lastClusters  []batchCluster
 }
 
 // New spawns a distributed DASH network over g. ids assigns each node
@@ -145,24 +179,27 @@ func NewKind(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
 }
 
 // assemble builds the network without starting any node goroutine. Tests
-// use the unstarted form to deliver messages one at a time in an
-// adversarial order; production callers go through NewKind.
+// and the deterministic Sim use the unstarted form to deliver messages
+// one at a time in a chosen order; production callers go through
+// NewKind.
 func assemble(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
 	n := g.N()
 	if len(ids) != n {
 		panic(fmt.Sprintf("dist: %d ids for %d nodes", len(ids), n))
 	}
 	nw := &Network{
-		kind:      kind,
-		n:         n,
-		nodes:     make([]*node, n),
-		initIDs:   append([]uint64(nil), ids...),
-		track:     &tracker{},
-		dead:      make([]bool, n),
-		exited:    make([]bool, n),
-		deadStats: make([]finalStats, n),
-		roundHops: make(map[int]int),
+		kind:          kind,
+		n:             n,
+		initIDs:       append([]uint64(nil), ids...),
+		track:         &tracker{},
+		manual:        true,
+		dead:          make([]bool, n),
+		exited:        make([]bool, n),
+		deadStats:     make([]finalStats, n),
+		epochHops:     make(map[uint64]map[int]int),
+		batchClusters: make(map[uint64][]batchCluster),
 	}
+	nodes := make([]*node, n)
 	// Bootstrap each actor's local state straight from the overlay: its
 	// adjacency, and the NoN tables (each neighbor's full neighborhood
 	// with initial IDs) that the protocol's wills rely on. At t=0 every
@@ -195,14 +232,33 @@ func assemble(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
 			}
 			nd.gNbrs[u] = &nbrInfo{initID: ids[u], curID: ids[u], nbrs: non}
 		}
-		nw.nodes[v] = nd
+		nodes[v] = nd
 	}
+	nw.nodes.Store(&nodes)
+	nw.pipe = newPipeline(nw, g)
+	nw.track.onZero = nw.pipe.onEpochZero
 	return nw
+}
+
+// node returns the actor at slot v from the current node-slice snapshot.
+func (nw *Network) node(v int) *node { return (*nw.nodes.Load())[v] }
+
+// nodeSlice returns the current node-slice snapshot.
+func (nw *Network) nodeSlice() []*node { return *nw.nodes.Load() }
+
+// appendNode publishes a new node slot (copy-on-write, under nw.mu).
+func (nw *Network) appendNode(nd *node) {
+	old := *nw.nodes.Load()
+	fresh := make([]*node, len(old)+1)
+	copy(fresh, old)
+	fresh[len(old)] = nd
+	nw.nodes.Store(&fresh)
 }
 
 // start spawns one goroutine per live node.
 func (nw *Network) start() {
-	for _, nd := range nw.nodes {
+	nw.manual = false
+	for _, nd := range nw.nodeSlice() {
 		if nd != nil {
 			nw.wg.Add(1)
 			go nd.run()
@@ -210,70 +266,66 @@ func (nw *Network) start() {
 	}
 }
 
-// send is the single transport primitive: count the message in flight,
-// then deliver it to the recipient's mailbox. Counting strictly before
-// delivery is what makes the quiescence counter conservative.
+// send is the single transport primitive: count the message in flight
+// under its epoch, then deliver it to the recipient's mailbox. Counting
+// strictly before delivery is what makes the per-epoch quiescence
+// counters conservative. Attach orders are also recorded with the epoch
+// scheduler, which replays them into its topology mirror when the epoch
+// completes.
 func (nw *Network) send(to int, msg message) {
-	nw.track.add(1)
+	nw.track.add(msg.epoch, 1)
+	atomic.AddInt64(&nw.msgKindSent[msg.kind], 1)
+	if msg.kind == msgAttach {
+		nw.pipe.recordAttach(msg.epoch, to, msg.peer)
+	}
 	if drop := nw.testDrop; drop != nil && drop(to, msg) {
 		return
 	}
-	nw.nodes[to].inbox.push(msg)
+	nw.node(to).inbox.push(msg)
 }
 
-// Kill deletes node v and blocks until the resulting healing round has
-// fully quiesced, like the sequential engine's DeleteAndHeal. It panics
-// if v is not alive (mirroring core.State.Remove) or if the round fails
-// to quiesce within DefaultKillTimeout.
+// MsgKindSent reports how many messages of one kind the whole network
+// has sent so far (protocol instrumentation; used by the probe
+// accounting tests).
+func (nw *Network) msgKindTotal(kind msgKind) int64 {
+	return atomic.LoadInt64(&nw.msgKindSent[kind])
+}
+
+// Kill deletes node v and blocks until the resulting healing epoch has
+// completed, like the sequential engine's DeleteAndHeal. It panics if v
+// is not alive (mirroring core.State.Remove) or if the epoch fails to
+// complete within DefaultKillTimeout. Epochs already in flight keep
+// draining concurrently.
 func (nw *Network) Kill(v int) {
 	if err := nw.KillWithTimeout(v, DefaultKillTimeout); err != nil {
 		panic(err)
 	}
 }
 
-// KillWithTimeout is Kill with an explicit quiescence deadline. On
-// timeout it returns an error carrying a diagnostic dump (in-flight
-// count and per-node mailbox depths) and leaves the network as-is; the
-// caller owns the watchdog policy.
+// KillWithTimeout is Kill with an explicit completion deadline. On
+// timeout it returns an error carrying a diagnostic dump (per-epoch
+// in-flight counts and per-node mailbox depths) and leaves the network
+// as-is; the caller owns the watchdog policy.
 func (nw *Network) KillWithTimeout(v int, timeout time.Duration) error {
-	nw.mu.Lock()
-	if v < 0 || v >= nw.n || nw.dead[v] {
-		nw.mu.Unlock()
-		panic(fmt.Sprintf("dist: killing dead node %d", v))
-	}
-	nw.mu.Unlock()
+	return nw.KillAsync(v).Wait(timeout)
+}
 
-	nw.send(v, message{kind: msgDie})
-	if !nw.track.wait(timeout) {
-		return fmt.Errorf("dist: healing round for node %d did not quiesce within %v\n%s",
-			v, timeout, nw.DumpState())
-	}
-
-	nw.mu.Lock()
-	nw.dead[v] = true
-	nw.rounds++
-	depth := 0
-	for _, h := range nw.roundHops {
-		if h > depth {
-			depth = h
-		}
-	}
-	clear(nw.roundHops)
-	nw.floodSum += int64(depth)
-	if depth > nw.floodMax {
-		nw.floodMax = depth
-	}
-	nw.mu.Unlock()
-	return nil
+// KillAsync schedules the deletion of node v as a pipelined epoch and
+// returns immediately. The epoch launches at once when its conflict
+// region is disjoint from every in-flight epoch's, else after the
+// conflicting epochs complete. It panics if v is dead or already
+// targeted by a pending epoch.
+func (nw *Network) KillAsync(v int) *Epoch {
+	return nw.pipe.issueKill(v)
 }
 
 // Join adds a new node attached to the distinct members of attachTo and
-// blocks until the join round has quiesced, mirroring core.State.Join:
+// blocks until the join epoch has completed, mirroring core.State.Join:
 // the newcomer starts with δ = 0 (its initial degree is its join
 // degree), a fresh singleton G′ component, and its initial ID id as its
 // current label. It returns the new node's index (core's AddNode order:
 // one past the previous slot count). It panics on a dead attach target
-// or a wedged round.
+// or a wedged epoch.
 func (nw *Network) Join(attachTo []int, id uint64) int {
 	v, err := nw.JoinWithTimeout(attachTo, id, DefaultKillTimeout)
 	if err != nil {
@@ -282,92 +334,91 @@ func (nw *Network) Join(attachTo []int, id uint64) int {
 	return v
 }
 
-// JoinWithTimeout is Join with an explicit quiescence deadline.
+// JoinWithTimeout is Join with an explicit completion deadline.
 func (nw *Network) JoinWithTimeout(attachTo []int, id uint64, timeout time.Duration) (int, error) {
-	// Dedupe while preserving order (core.Join tolerates duplicates too:
-	// the second AddEdge is a no-op).
-	attach := make([]int, 0, len(attachTo))
-	for _, u := range attachTo {
-		dup := false
-		for _, w := range attach {
-			dup = dup || w == u
-		}
-		if !dup {
-			attach = append(attach, u)
-		}
-	}
-
-	nw.mu.Lock()
-	for _, u := range attach {
-		if u < 0 || u >= nw.n || nw.dead[u] {
-			nw.mu.Unlock()
-			panic(fmt.Sprintf("dist: joining to dead node %d", u))
-		}
-	}
-	v := nw.n
-	nw.n++
-	nw.dead = append(nw.dead, false)
-	nw.exited = append(nw.exited, false)
-	nw.deadStats = append(nw.deadStats, finalStats{})
-	nw.initIDs = append(nw.initIDs, id)
-	// attachInfo is the newcomer's neighborhood with initial IDs — the
-	// NoN payload every target receives (targets copy it before keeping
-	// it, so sharing one map across the sends is safe).
-	attachInfo := make(map[int]uint64, len(attach))
-	nd := &node{
-		nw:           nw,
-		id:           v,
-		initID:       id,
-		curID:        id,
-		initDeg:      len(attach),
-		inbox:        newMailbox(),
-		gNbrs:        make(map[int]*nbrInfo, len(attach)),
-		gpNbrs:       make(map[int]struct{}),
-		pendingHello: make(map[int]map[int]uint64),
-		heals:        make(map[int]*healState),
-		floodRound:   -1,
-		probeRoot:    -1,
-	}
-	for _, u := range attach {
-		attachInfo[u] = nw.initIDs[u]
-		// The target's current label and neighborhood arrive with its
-		// msgJoinAck; until then only the immutable ID is known.
-		nd.gNbrs[u] = &nbrInfo{initID: nw.initIDs[u]}
-	}
-	nw.nodes = append(nw.nodes, nd)
-	nw.mu.Unlock()
-
-	// The append above is ordered before every future read of nw.nodes
-	// by node goroutines: the network is quiescent when Join runs (no
-	// handler is executing), and the next handler to run is woken by one
-	// of the sends below, which synchronize through the mailbox mutex.
-	nw.wg.Add(1)
-	go nd.run()
-	for _, u := range attach {
-		nw.send(u, message{kind: msgJoinReq, from: v, nonPeerInitID: id, nonNbrs: attachInfo})
-	}
-	if !nw.track.wait(timeout) {
-		return v, fmt.Errorf("dist: join round for node %d did not quiesce within %v\n%s",
-			v, timeout, nw.DumpState())
-	}
-	return v, nil
+	v, ep := nw.JoinAsync(attachTo, id)
+	return v, ep.Wait(timeout)
 }
 
-// recordFloodDepth notes that node v adopted (or relaxed) this round's
-// label at the given hop distance from the reconnection set. The round's
+// JoinAsync schedules a join as a pipelined epoch and returns the
+// newcomer's index immediately (slots are allocated in issue order, so
+// indices match the sequential engine even while earlier epochs are
+// still draining).
+func (nw *Network) JoinAsync(attachTo []int, id uint64) (int, *Epoch) {
+	return nw.pipe.issueJoin(attachTo, id)
+}
+
+// Drain blocks until every issued epoch has completed and no message is
+// in flight anywhere, or the timeout elapses. It is the pipelined
+// equivalent of the old global quiescence barrier — call it before
+// Snapshot when async operations are outstanding.
+func (nw *Network) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ep := nw.pipe.oldestIncomplete()
+		if ep == nil {
+			break
+		}
+		if err := ep.waitDeadline(deadline); err != nil {
+			return fmt.Errorf("dist: drain: %w", err)
+		}
+	}
+	if !nw.track.wait(time.Until(deadline)) {
+		return fmt.Errorf("dist: drain: untracked traffic did not quiesce within %v\n%s", timeout, nw.DumpState())
+	}
+	return nil
+}
+
+// SetSerial switches the epoch scheduler between pipelined (the
+// default) and serial mode. In serial mode every epoch conflicts with
+// every other, reproducing the old one-round-at-a-time global barrier —
+// the baseline the epoch-overlap benchmarks compare against.
+func (nw *Network) SetSerial(serial bool) {
+	nw.pipe.mu.Lock()
+	nw.pipe.serial = serial
+	nw.pipe.mu.Unlock()
+}
+
+// recordFloodDepth notes that node v adopted (or relaxed) an epoch's
+// label at the given hop distance from the reconnection set. The epoch's
 // depth is the maximum over adopters of each adopter's minimum distance
 // — the same quantity the sequential BFS computes for Lemma 9.
-func (nw *Network) recordFloodDepth(v, hops int) {
+func (nw *Network) recordFloodDepth(epoch uint64, v, hops int) {
 	nw.mu.Lock()
-	if cur, ok := nw.roundHops[v]; !ok || hops < cur {
-		nw.roundHops[v] = hops
+	hopsByNode := nw.epochHops[epoch]
+	if hopsByNode == nil {
+		hopsByNode = make(map[int]int)
+		nw.epochHops[epoch] = hopsByNode
+	}
+	if cur, ok := hopsByNode[v]; !ok || hops < cur {
+		hopsByNode[v] = hops
+	}
+	nw.mu.Unlock()
+}
+
+// foldFloodDepth folds one completed epoch's flood-depth records into
+// the Lemma 9 accounting: each epoch (each batch cluster heal runs
+// under its own child epoch) contributes its own maximum adopter depth,
+// exactly as one sequential PropagateMinID call does.
+func (nw *Network) foldFloodDepth(epoch uint64) {
+	nw.mu.Lock()
+	depth := 0
+	for _, h := range nw.epochHops[epoch] {
+		if h > depth {
+			depth = h
+		}
+	}
+	delete(nw.epochHops, epoch)
+	nw.floodSum += int64(depth)
+	if depth > nw.floodMax {
+		nw.floodMax = depth
 	}
 	nw.mu.Unlock()
 }
 
 // storeFinal archives a dying node's counters and records that its
 // goroutine is gone, so Snapshot and Close never wait on it — even when
-// the round that killed it subsequently failed to quiesce.
+// the epoch that killed it subsequently failed its watchdog.
 func (nw *Network) storeFinal(v int, fs finalStats) {
 	nw.mu.Lock()
 	nw.deadStats[v] = fs
@@ -376,10 +427,12 @@ func (nw *Network) storeFinal(v int, fs finalStats) {
 }
 
 // FloodStats reports the MINID wave-depth accounting across all healing
-// rounds so far: the summed per-round maximum depth, the deepest single
+// epochs so far: the summed per-epoch maximum depth, the deepest single
 // wave, and the number of rounds. The wave relaxes hop tags to true G′
 // distances, so these equal the sequential core.State.FloodDepthSum,
-// MaxFloodDepth, and Rounds exactly.
+// MaxFloodDepth, and Rounds exactly — including under pipelining,
+// because epoch scheduling confines each wave to its own conflict
+// region.
 func (nw *Network) FloodStats() (sum int64, max int, rounds int) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
@@ -400,13 +453,14 @@ type Snap struct {
 	NoNMsgs   []int64 // NoN gossip messages sent, per node
 }
 
-// Snapshot collects the global state. Call it only between Kill rounds
-// (the network is quiescent then); it is not itself part of the
-// protocol and sends no countable traffic. Nodes whose goroutines have
-// exited — including the victim of a round that failed its quiescence
-// watchdog — are reported from their archived final state rather than
-// queried, so Snapshot never blocks on a dead actor.
+// Snapshot collects the global state. Call it only when no epoch is in
+// flight (after Drain, or between blocking calls); it is not itself
+// part of the protocol and sends no countable traffic. Nodes whose
+// goroutines have exited — including the victim of an epoch that failed
+// its watchdog — are reported from their archived final state rather
+// than queried, so Snapshot never blocks on a dead actor.
 func (nw *Network) Snapshot() *Snap {
+	nodes := nw.nodeSlice()
 	nw.mu.Lock()
 	n := nw.n
 	dead := make([]bool, n)
@@ -437,7 +491,13 @@ func (nw *Network) Snapshot() *Snap {
 			continue
 		}
 		live++
-		nw.send(v, message{kind: msgSnapshot, reply: replies})
+		if nw.manual {
+			// No goroutines to query: read the actor state directly
+			// (single-threaded harness, nothing else is running).
+			replies <- nodes[v].snapshot()
+			continue
+		}
+		nw.send(v, message{kind: msgSnapshot, from: srcSupervisor, reply: replies})
 	}
 	for i := 0; i < live; i++ {
 		ns := <-replies
@@ -474,21 +534,23 @@ func (nw *Network) Close() {
 		gone[v] = nw.dead[v] || nw.exited[v]
 	}
 	nw.mu.Unlock()
-	for v, nd := range nw.nodes {
+	for v, nd := range nw.nodeSlice() {
 		if nd != nil && !gone[v] {
-			nw.send(v, message{kind: msgStop})
+			nw.send(v, message{kind: msgStop, from: srcSupervisor})
 		}
 	}
 	nw.wg.Wait()
 }
 
 // DumpState renders a human-readable diagnostic of the network's
-// concurrency state: the quiescence counter and every live node's
-// mailbox backlog. It is what KillWithTimeout attaches to a watchdog
-// failure.
+// concurrency state: the global and per-epoch in-flight counters, each
+// incomplete epoch's stage, and every live node's mailbox backlog. It
+// is what a failed epoch Wait attaches to a watchdog error.
 func (nw *Network) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dist network dump: %d in-flight messages\n", nw.track.pending())
+	b.WriteString(renderEpochLoads(nw.track.epochLoads()))
+	b.WriteString(nw.pipe.dumpEpochs())
 	nw.mu.Lock()
 	dead := append([]bool(nil), nw.dead...)
 	nw.mu.Unlock()
@@ -497,8 +559,8 @@ func (nw *Network) DumpState() string {
 	}
 	var busy []row
 	alive := 0
-	for v, nd := range nw.nodes {
-		if nd == nil || dead[v] {
+	for v, nd := range nw.nodeSlice() {
+		if nd == nil || v < len(dead) && dead[v] {
 			continue
 		}
 		alive++

@@ -136,16 +136,32 @@ func TestTrackerQuiescence(t *testing.T) {
 	if !tr.wait(time.Millisecond) {
 		t.Fatal("empty tracker should be quiescent immediately")
 	}
-	tr.add(2)
+	var zeros []uint64
+	tr.onZero = func(epoch uint64) { zeros = append(zeros, epoch) }
+	tr.add(1, 2)
+	tr.add(2, 1)
 	if tr.wait(10 * time.Millisecond) {
 		t.Fatal("tracker with in-flight messages reported quiescent")
 	}
+	if got := tr.pendingEpoch(1); got != 2 {
+		t.Fatalf("epoch 1 in-flight = %d, want 2", got)
+	}
+	tr.done(2)
+	if len(zeros) != 1 || zeros[0] != 2 {
+		t.Fatalf("zero callbacks after epoch 2 drained: %v, want [2]", zeros)
+	}
+	if tr.pendingEpoch(1) != 2 {
+		t.Fatal("draining epoch 2 must not touch epoch 1's counter")
+	}
 	done := make(chan bool, 1)
 	go func() { done <- tr.wait(5 * time.Second) }()
-	tr.done()
-	tr.done()
+	tr.done(1)
+	tr.done(1)
 	if !<-done {
 		t.Fatal("waiter not released when counter hit zero")
+	}
+	if len(zeros) != 2 || zeros[1] != 1 {
+		t.Fatalf("zero callbacks after both epochs drained: %v, want [2 1]", zeros)
 	}
 	if tr.pending() != 0 {
 		t.Fatalf("pending = %d, want 0", tr.pending())

@@ -143,6 +143,9 @@ const (
 	// msgBatchReport is a candidate's answer: its healReport plus the
 	// component minimum its probe converged on (in the label field).
 	msgBatchReport
+
+	// msgKindCount sizes per-kind counter arrays; keep it last.
+	msgKindCount
 )
 
 // healReport is what each orphan tells the leader about itself: exactly
@@ -169,10 +172,24 @@ type nodeSnap struct {
 	nonMsgs   int64
 }
 
+// srcSupervisor is the from value of supervisor-originated messages
+// (die orders, batch stage orders, joins issued on the newcomer's
+// behalf, snapshots). Node indices are non-negative, so the sentinel can
+// never collide with a real sender.
+const srcSupervisor = -1
+
 // message is the single wire format; kind selects which fields are live.
 type message struct {
 	kind msgKind
 	from int
+
+	// epoch identifies the kill/join/batch operation this message belongs
+	// to. The supervisor stamps the epoch's opening messages; every
+	// handler stamps its own sends with the epoch of the message it is
+	// processing, so an epoch's causal cone shares one ID and the
+	// per-epoch quiescence counters are conservative. Epoch 0 is reserved
+	// for untracked traffic (snapshots, tests driving raw sends).
+	epoch uint64
 
 	// victim identifies the healing round (msgDeathNotice, msgHealReport,
 	// msgAttach, msgAttachAck).

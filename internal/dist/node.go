@@ -44,6 +44,11 @@ type node struct {
 	curID   uint64
 	initDeg int
 
+	// curEpoch is the epoch of the message currently being handled;
+	// every send this node makes while handling inherits it, so an
+	// epoch's causal cone stays inside its own quiescence counter.
+	curEpoch uint64
+
 	inbox *mailbox
 
 	gNbrs  map[int]*nbrInfo
@@ -91,6 +96,15 @@ type node struct {
 
 func (nd *node) delta() int { return len(nd.gNbrs) - nd.initDeg }
 
+// send stamps msg with the epoch of the message this node is currently
+// processing and hands it to the transport. All handler-originated
+// traffic goes through here; only the supervisor stamps epochs
+// explicitly.
+func (nd *node) send(to int, msg message) {
+	msg.epoch = nd.curEpoch
+	nd.nw.send(to, msg)
+}
+
 // run is the actor loop: drain the mailbox, park on the signal channel
 // when empty. Each handled message is acknowledged to the quiescence
 // tracker only after its handler returned (and therefore after all of
@@ -104,7 +118,7 @@ func (nd *node) run() {
 			continue
 		}
 		stop := nd.handle(msg)
-		nd.nw.track.done()
+		nd.nw.track.done(msg.epoch)
 		if stop {
 			return
 		}
@@ -113,6 +127,7 @@ func (nd *node) run() {
 
 // handle dispatches one message; it reports true when the node must stop.
 func (nd *node) handle(msg message) bool {
+	nd.curEpoch = msg.epoch
 	if nd.zombie {
 		// A committed batch victim: only late NoN gossip from survivors
 		// that had not yet processed every tombstone can still arrive
@@ -223,7 +238,7 @@ func (nd *node) handle(msg message) bool {
 func (nd *node) die() {
 	for w := range nd.gNbrs {
 		nd.coordMsgs++
-		nd.nw.send(w, message{kind: msgDeathNotice, from: nd.id, victim: nd.id})
+		nd.send(w, message{kind: msgDeathNotice, from: nd.id, victim: nd.id})
 	}
 	nd.nw.storeFinal(nd.id, finalStats{nd.msgSent, nd.coordMsgs, nd.nonMsgs})
 }
@@ -245,7 +260,7 @@ func (nd *node) onDeathNotice(x int) {
 	// NoN gossip: my neighborhood shrank.
 	for w := range nd.gNbrs {
 		nd.nonMsgs++
-		nd.nw.send(w, message{kind: msgNoNRemove, from: nd.id, nonPeer: x})
+		nd.send(w, message{kind: msgNoNRemove, from: nd.id, nonPeer: x})
 	}
 
 	// Leader election, resolved locally: every orphan holds the same NoN
@@ -273,7 +288,7 @@ func (nd *node) onDeathNotice(x int) {
 	}
 
 	nd.coordMsgs++
-	nd.nw.send(leader, message{
+	nd.send(leader, message{
 		kind:   msgHealReport,
 		from:   nd.id,
 		victim: x,
@@ -373,12 +388,12 @@ func (nd *node) sendAttachOrders(x int, hs *healState, edges [][2]healReport) {
 	for _, e := range edges {
 		a, b := e[0], e[1]
 		nd.coordMsgs++
-		nd.nw.send(a.from, message{
+		nd.send(a.from, message{
 			kind: msgAttach, from: nd.id, victim: x, leader: nd.id,
 			peer: b.from, peerInitID: b.initID, peerCurID: b.curID,
 		})
 		nd.coordMsgs++
-		nd.nw.send(b.from, message{
+		nd.send(b.from, message{
 			kind: msgAttach, from: nd.id, victim: x, leader: nd.id,
 			peer: a.from, peerInitID: a.initID, peerCurID: a.curID,
 		})
@@ -448,19 +463,19 @@ func (nd *node) onAttach(msg message) {
 			hello[w] = info.initID
 		}
 		nd.nonMsgs++
-		nd.nw.send(b, message{kind: msgNoNFull, from: nd.id, nonNbrs: hello})
+		nd.send(b, message{kind: msgNoNFull, from: nd.id, nonNbrs: hello})
 		// Incremental gossip to everyone else: my neighborhood grew.
 		for w := range nd.gNbrs {
 			if w == b {
 				continue
 			}
 			nd.nonMsgs++
-			nd.nw.send(w, message{kind: msgNoNAdd, from: nd.id, nonPeer: b, nonPeerInitID: msg.peerInitID})
+			nd.send(w, message{kind: msgNoNAdd, from: nd.id, nonPeer: b, nonPeerInitID: msg.peerInitID})
 		}
 	}
 	nd.gpNbrs[b] = struct{}{}
 	nd.coordMsgs++
-	nd.nw.send(msg.leader, message{kind: msgAttachAck, from: nd.id, victim: msg.victim})
+	nd.send(msg.leader, message{kind: msgAttachAck, from: nd.id, victim: msg.victim})
 }
 
 // onJoinReq wires one attach edge of a joining node (the counterpart of
@@ -483,14 +498,14 @@ func (nd *node) onJoinReq(msg message) {
 			continue
 		}
 		nd.nonMsgs++
-		nd.nw.send(w, message{kind: msgNoNAdd, from: nd.id, nonPeer: v, nonPeerInitID: msg.nonPeerInitID})
+		nd.send(w, message{kind: msgNoNAdd, from: nd.id, nonPeer: v, nonPeerInitID: msg.nonPeerInitID})
 	}
 	hello := make(map[int]uint64, len(nd.gNbrs))
 	for w, info := range nd.gNbrs {
 		hello[w] = info.initID
 	}
 	nd.nonMsgs++
-	nd.nw.send(v, message{kind: msgJoinAck, from: nd.id, label: nd.curID, nonNbrs: hello})
+	nd.send(v, message{kind: msgJoinAck, from: nd.id, label: nd.curID, nonNbrs: hello})
 }
 
 func (nd *node) onAttachAck(x int) {
@@ -523,7 +538,7 @@ func (nd *node) startFlood(x int, hs *healState) {
 	for _, rep := range hs.rt {
 		if rep.curID > minID {
 			nd.coordMsgs++
-			nd.nw.send(rep.from, message{kind: msgLabelFlood, from: nd.id, victim: x, label: minID, hops: 0})
+			nd.send(rep.from, message{kind: msgLabelFlood, from: nd.id, victim: x, label: minID, hops: 0})
 		}
 	}
 }
@@ -550,17 +565,17 @@ func (nd *node) onLabelFlood(victim int, label uint64, hops int) {
 		nd.floodHops = hops
 		for w := range nd.gNbrs {
 			nd.msgSent++
-			nd.nw.send(w, message{kind: msgLabelNotify, from: nd.id, label: label})
+			nd.send(w, message{kind: msgLabelNotify, from: nd.id, label: label})
 		}
 	case label == nd.curID && victim == nd.floodRound && hops < nd.floodHops: // relax
 		nd.floodHops = hops
 	default:
 		return
 	}
-	nd.nw.recordFloodDepth(nd.id, hops)
+	nd.nw.recordFloodDepth(nd.curEpoch, nd.id, hops)
 	for w := range nd.gpNbrs {
 		nd.coordMsgs++
-		nd.nw.send(w, message{kind: msgLabelFlood, from: nd.id, victim: victim, label: label, hops: hops + 1})
+		nd.send(w, message{kind: msgLabelFlood, from: nd.id, victim: victim, label: label, hops: hops + 1})
 	}
 }
 
@@ -577,7 +592,7 @@ func (nd *node) onBatchProbe() {
 	for w := range nd.gNbrs {
 		if _, dead := nd.batchSet[w]; dead {
 			nd.coordMsgs++
-			nd.nw.send(w, message{kind: msgClusterProbe, from: nd.id, root: nd.batchRoot})
+			nd.send(w, message{kind: msgClusterProbe, from: nd.id, root: nd.batchRoot})
 		}
 	}
 }
@@ -595,7 +610,7 @@ func (nd *node) onClusterProbe(root int) {
 	for w := range nd.gNbrs {
 		if _, dead := nd.batchSet[w]; dead {
 			nd.coordMsgs++
-			nd.nw.send(w, message{kind: msgClusterProbe, from: nd.id, root: root})
+			nd.send(w, message{kind: msgClusterProbe, from: nd.id, root: root})
 		}
 	}
 }
@@ -614,7 +629,7 @@ func (nd *node) onBatchCollect() {
 		}
 	}
 	nd.coordMsgs++
-	nd.nw.send(nd.batchRoot, message{kind: msgClusterJoin, from: nd.id, nonNbrs: cands})
+	nd.send(nd.batchRoot, message{kind: msgClusterJoin, from: nd.id, nonNbrs: cands})
 }
 
 // onClusterJoin (roots only) accumulates the cluster's candidate union.
@@ -643,7 +658,7 @@ func (nd *node) onBatchCommit() {
 			continue
 		}
 		nd.coordMsgs++
-		nd.nw.send(w, message{kind: msgBatchNotice, from: nd.id, victim: nd.id})
+		nd.send(w, message{kind: msgBatchNotice, from: nd.id, victim: nd.id})
 	}
 	if nd.batchRoot == nd.id && len(nd.batchCand) > 0 {
 		leader := -1
@@ -653,9 +668,9 @@ func (nd *node) onBatchCommit() {
 				leader, best = v, id
 			}
 		}
-		nd.nw.recordBatchCluster(nd.id, leader)
+		nd.nw.recordBatchCluster(nd.curEpoch, nd.id, leader)
 		nd.coordMsgs++
-		nd.nw.send(leader, message{kind: msgBatchLead, from: nd.id, victim: nd.id, nonNbrs: nd.batchCand})
+		nd.send(leader, message{kind: msgBatchLead, from: nd.id, victim: nd.id, nonNbrs: nd.batchCand})
 	}
 	nd.zombie = true
 	nd.nw.storeFinal(nd.id, finalStats{nd.msgSent, nd.coordMsgs, nd.nonMsgs})
@@ -674,7 +689,7 @@ func (nd *node) onBatchNotice(x int) {
 	delete(nd.gpNbrs, x)
 	for w := range nd.gNbrs {
 		nd.nonMsgs++
-		nd.nw.send(w, message{kind: msgNoNRemove, from: nd.id, nonPeer: x})
+		nd.send(w, message{kind: msgNoNRemove, from: nd.id, nonPeer: x})
 	}
 }
 
@@ -687,7 +702,7 @@ func (nd *node) onBatchHealStart(root int) {
 	}
 	for v := range hs.cands {
 		nd.coordMsgs++
-		nd.nw.send(v, message{kind: msgCompProbeStart, from: nd.id, victim: root})
+		nd.send(v, message{kind: msgCompProbeStart, from: nd.id, victim: root})
 	}
 }
 
@@ -707,7 +722,7 @@ func (nd *node) probeRelax(root int, id uint64) {
 	}
 	for w := range nd.gpNbrs {
 		nd.coordMsgs++
-		nd.nw.send(w, message{kind: msgCompProbe, from: nd.id, victim: root, label: nd.probeBest})
+		nd.send(w, message{kind: msgCompProbe, from: nd.id, victim: root, label: nd.probeBest})
 	}
 }
 
@@ -718,7 +733,7 @@ func (nd *node) onBatchHealWire(root int) {
 	hs.compMin = make(map[int]uint64, len(hs.cands))
 	for v := range hs.cands {
 		nd.coordMsgs++
-		nd.nw.send(v, message{kind: msgBatchReportReq, from: nd.id, victim: root})
+		nd.send(v, message{kind: msgBatchReportReq, from: nd.id, victim: root})
 	}
 }
 
@@ -729,7 +744,7 @@ func (nd *node) onBatchReportReq(root, leader int) {
 		panic(fmt.Sprintf("dist: node %d reporting for cluster %d but probed %d", nd.id, root, nd.probeRoot))
 	}
 	nd.coordMsgs++
-	nd.nw.send(leader, message{
+	nd.send(leader, message{
 		kind: msgBatchReport, from: nd.id, victim: root, label: nd.probeBest,
 		report: healReport{from: nd.id, initID: nd.initID, curID: nd.curID, delta: nd.delta()},
 	})

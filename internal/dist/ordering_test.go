@@ -17,7 +17,7 @@ import (
 // v's mailbox and handles it on the test goroutine.
 func deliverKind(t *testing.T, nw *Network, v int, kind msgKind) {
 	t.Helper()
-	nd := nw.nodes[v]
+	nd := nw.node(v)
 	nd.inbox.mu.Lock()
 	idx := -1
 	for i, m := range nd.inbox.queue {
@@ -34,7 +34,7 @@ func deliverKind(t *testing.T, nw *Network, v int, kind msgKind) {
 	nd.inbox.queue = append(nd.inbox.queue[:idx], nd.inbox.queue[idx+1:]...)
 	nd.inbox.mu.Unlock()
 	nd.handle(msg)
-	nw.track.done()
+	nw.track.done(msg.epoch)
 }
 
 // drainAll delivers every remaining message in plain FIFO order until
@@ -42,7 +42,7 @@ func deliverKind(t *testing.T, nw *Network, v int, kind msgKind) {
 func drainAll(nw *Network) {
 	for {
 		progressed := false
-		for _, nd := range nw.nodes {
+		for _, nd := range nw.nodeSlice() {
 			if nd == nil {
 				continue
 			}
@@ -53,7 +53,7 @@ func drainAll(nw *Network) {
 				}
 				progressed = true
 				nd.handle(msg)
-				nw.track.done()
+				nw.track.done(msg.epoch)
 			}
 		}
 		if !progressed {
@@ -87,7 +87,7 @@ func TestEarlyHelloIsBuffered(t *testing.T) {
 	deliverKind(t, nw, 2, msgNoNFull)
 	deliverKind(t, nw, 2, msgAttach)
 
-	info := nw.nodes[2].gNbrs[0]
+	info := nw.node(2).gNbrs[0]
 	if info == nil {
 		t.Fatal("node 2 did not attach to 0")
 	}
@@ -109,7 +109,7 @@ func TestEarlyHelloIsBuffered(t *testing.T) {
 	if p := nw.track.pending(); p != 0 {
 		t.Fatalf("follow-up round left %d messages in flight", p)
 	}
-	if got := len(nw.nodes[2].gNbrs); got != 0 {
+	if got := len(nw.node(2).gNbrs); got != 0 {
 		t.Fatalf("node 2 still has %d neighbors after both peers died", got)
 	}
 }
@@ -132,7 +132,7 @@ func TestLateHelloAfterAttach(t *testing.T) {
 	deliverKind(t, nw, 0, msgAttach)
 	deliverKind(t, nw, 2, msgNoNFull) // 0's hello arrives after the attach
 
-	info := nw.nodes[2].gNbrs[0]
+	info := nw.node(2).gNbrs[0]
 	if info == nil || info.nbrs == nil {
 		t.Fatal("hello after attach not applied")
 	}

@@ -81,6 +81,38 @@ func TestDifferentialCoreVsDist(t *testing.T) {
 	}
 }
 
+// TestDifferentialPipelinedSmall replays randomized mixed schedules in
+// Pipelined mode: mutations are issued asynchronously in windows of
+// DefaultDiffWindow so disjoint heal epochs genuinely overlap, and the
+// same bit-exact equivalence Lockstep demands is asserted at every
+// window flush. Small-n complement to the 10k gate below.
+func TestDifferentialPipelinedSmall(t *testing.T) {
+	for _, healer := range []core.Healer{core.DASH{}, core.SDASH{}} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			healer, seed := healer, seed
+			t.Run(healer.Name()+"/"+string(rune('0'+seed)), func(t *testing.T) {
+				t.Parallel()
+				sc := randomSchedule(rng.New(seed*104729 + 17))
+				rep, err := ReplayDifferentialMode(Config{
+					NewGraph:     func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(48, 3, r) },
+					Schedule:     sc,
+					Healer:       healer,
+					Seed:         seed,
+					MeasureEvery: -1,
+				}, Pipelined, diffTimeout)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.BatchKills == 0 {
+					t.Fatalf("schedule replayed no batch kills: %+v", rep)
+				}
+				t.Logf("replayed %d events pipelined: %d kills, %d joins, %d batch epochs, %d rounds",
+					rep.Events, rep.Kills, rep.Joins, rep.BatchKills, rep.Rounds)
+			})
+		}
+	}
+}
+
 // TestDifferentialRejectsForeignHealer pins the healer mapping: a healer
 // with no distributed counterpart must fail fast, not diverge.
 func TestDifferentialRejectsForeignHealer(t *testing.T) {
@@ -124,6 +156,44 @@ func TestDisasterDifferential10k(t *testing.T) {
 	}
 	if rep.BatchKills != 8 || rep.Killed != 8*(n/64) {
 		t.Fatalf("expected 8 full waves (%d nodes), got %+v", 8*(n/64), rep)
+	}
+	if rep.Kills == 0 || rep.Joins == 0 {
+		t.Fatalf("schedule should mix kills and joins: %+v", rep)
+	}
+}
+
+// TestPipelinedDifferential10k is the CI pipelined-differential gate: a
+// sustained churn-and-disaster schedule at n = 10k replayed with
+// mutations issued asynchronously in windows of DefaultDiffWindow, so
+// up to a window's worth of heal epochs are in flight between each
+// drain-and-check flush. The flush equivalence is the same bit-exact
+// G/G′/label/δ check Lockstep performs per event, plus the final
+// Lemma 9 flood accounting. Skipped under -short (the dedicated CI job
+// runs it under -race with a 10-minute timeout).
+func TestPipelinedDifferential10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipelined differential smoke is not a -short test")
+	}
+	const n = 10_000
+	sc := Schedule{Name: "pipelined-10k", Phases: []Phase{
+		Quiet(1),
+		Churn(24, 3, 3),
+		Disaster(4, n/128),
+		Churn(24, 3, 3),
+		Attrition(16),
+	}}
+	rep, err := ReplayDifferentialMode(Config{
+		NewGraph:     func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, 3, r) },
+		Schedule:     sc,
+		Healer:       core.DASH{},
+		Seed:         2,
+		MeasureEvery: -1,
+	}, Pipelined, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BatchKills != 4 || rep.Killed != 4*(n/128) {
+		t.Fatalf("expected 4 full waves (%d nodes), got %+v", 4*(n/128), rep)
 	}
 	if rep.Kills == 0 || rep.Joins == 0 {
 		t.Fatalf("schedule should mix kills and joins: %+v", rep)

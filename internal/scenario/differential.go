@@ -14,6 +14,12 @@ package scenario
 // preset differentially from the command line; the randomized-schedule
 // tests in diff_test.go and the n=10k disaster gate CI runs are thin
 // wrappers around ReplayDifferential.
+//
+// Two replay modes exist since the distributed engine dropped its
+// global quiescence barrier: Lockstep (one blocking op at a time,
+// checked after every event) and Pipelined (ops issued asynchronously
+// in windows so disjoint heal epochs overlap, checked at every window
+// flush) — see DiffMode.
 
 import (
 	"fmt"
@@ -58,6 +64,28 @@ func healerKind(h core.Healer) (dist.HealerKind, error) {
 	}
 }
 
+// DiffMode selects how mutations reach the distributed engine.
+type DiffMode int
+
+const (
+	// Lockstep replays each mutation with a blocking call and asserts
+	// full equivalence after every mutating event: maximal checking
+	// density, no epoch overlap.
+	Lockstep DiffMode = iota
+	// Pipelined issues mutations asynchronously in windows of
+	// DefaultDiffWindow ops, so disjoint heal epochs genuinely overlap
+	// inside the window, then drains and asserts full equivalence at
+	// each window boundary. The equivalence demanded at a flush point is
+	// the same bit-exact one Lockstep demands — including the Lemma 9
+	// flood accounting, which survives pipelining because floods stay
+	// confined to their epoch's conflict region.
+	Pipelined
+)
+
+// DefaultDiffWindow is the number of mutations issued asynchronously
+// between drain-and-check flush points in Pipelined mode.
+const DefaultDiffWindow = 8
+
 // ReplayDifferential executes one trial of cfg's schedule through the
 // sequential engine and replays every mutation — single kills, joins,
 // and batch-kill epochs — onto a distributed network of the matching
@@ -68,6 +96,16 @@ func healerKind(h core.Healer) (dist.HealerKind, error) {
 // replay is inherently one serial trial. The per-round timeout guards
 // against a wedged distributed round.
 func ReplayDifferential(cfg Config, timeout time.Duration) (DiffReport, error) {
+	return ReplayDifferentialMode(cfg, Lockstep, timeout)
+}
+
+// ReplayDifferentialMode is ReplayDifferential with an explicit replay
+// mode. Pipelined keeps up to DefaultDiffWindow heal epochs in flight
+// before each drain-and-check flush, exercising the epoch scheduler's
+// conflict chaining under the full scenario op mix at scale — the
+// randomized, large-n complement to the modelcheck package's exhaustive
+// small-config enumeration.
+func ReplayDifferentialMode(cfg Config, mode DiffMode, timeout time.Duration) (DiffReport, error) {
 	kind, err := healerKind(cfg.Healer)
 	if err != nil {
 		return DiffReport{}, err
@@ -137,6 +175,17 @@ func ReplayDifferential(cfg Config, timeout time.Duration) (DiffReport, error) {
 	defer nw.Close()
 
 	var rep DiffReport
+	inFlight := 0
+	flush := func() error {
+		if inFlight == 0 {
+			return nil
+		}
+		if err := nw.Drain(timeout); err != nil {
+			return fmt.Errorf("event %d (flush of %d in-flight epochs): %w", run.res.Events, inFlight, err)
+		}
+		inFlight = 0
+		return diffCheck(run.res.Events, nw, seqState)
+	}
 	for {
 		more := run.step()
 		mutated := len(ops) > 0
@@ -145,18 +194,28 @@ func ReplayDifferential(cfg Config, timeout time.Duration) (DiffReport, error) {
 			case op.batch != nil:
 				rep.BatchKills++
 				rep.Killed += len(op.batch)
-				if err := nw.KillBatchWithTimeout(op.batch, timeout); err != nil {
+				if mode == Pipelined {
+					nw.KillBatchAsync(op.batch)
+					inFlight++
+				} else if err := nw.KillBatchWithTimeout(op.batch, timeout); err != nil {
 					return rep, fmt.Errorf("event %d (batch kill %v): %w", run.res.Events, op.batch, err)
 				}
 			case op.kill:
 				rep.Kills++
-				if err := nw.KillWithTimeout(op.node, timeout); err != nil {
+				if mode == Pipelined {
+					nw.KillAsync(op.node)
+					inFlight++
+				} else if err := nw.KillWithTimeout(op.node, timeout); err != nil {
 					return rep, fmt.Errorf("event %d (kill %d): %w", run.res.Events, op.node, err)
 				}
 			default:
 				rep.Joins++
-				v, err := nw.JoinWithTimeout(op.attach, op.initID, timeout)
-				if err != nil {
+				var v int
+				var err error
+				if mode == Pipelined {
+					v, _ = nw.JoinAsync(op.attach, op.initID)
+					inFlight++
+				} else if v, err = nw.JoinWithTimeout(op.attach, op.initID, timeout); err != nil {
 					return rep, fmt.Errorf("event %d (join): %w", run.res.Events, err)
 				}
 				if v != op.node {
@@ -165,14 +224,28 @@ func ReplayDifferential(cfg Config, timeout time.Duration) (DiffReport, error) {
 			}
 		}
 		ops = ops[:0]
-		if mutated {
-			if err := diffCheck(run.res.Events, nw, seqState); err != nil {
-				return rep, err
+		switch mode {
+		case Pipelined:
+			// Drain and verify only at window boundaries, so up to a
+			// window's worth of heal epochs overlap in between.
+			if inFlight >= DefaultDiffWindow {
+				if err := flush(); err != nil {
+					return rep, err
+				}
+			}
+		default:
+			if mutated {
+				if err := diffCheck(run.res.Events, nw, seqState); err != nil {
+					return rep, err
+				}
 			}
 		}
 		if !more {
 			break
 		}
+	}
+	if err := flush(); err != nil {
+		return rep, err
 	}
 	rep.Events = run.finish().Events
 
