@@ -13,9 +13,20 @@
 //
 // Examples:
 //
+// With -chaos, the transport turns hostile: frames are dropped,
+// duplicated, and delayed at the given rates, and nodes fail-stop at
+// named protocol steps (-chaos-crash). The run is verified against the
+// sequential replay of the network's own effective-operation log — the
+// issued workload is no oracle once a crash rewrites history — and the
+// process exits nonzero if the network fails to drain or diverges, so
+// a fault schedule found by the fuzzer can be replayed from the shell.
+//
+// Examples:
+//
 //	dashdist -n 300 -attack NeighborOfMax
 //	dashdist -n 200 -heal SDASH -verify=false
 //	dashdist -n 500 -batch 24 -attack MaxNode
+//	dashdist -n 400 -chaos -chaos-drop 0.08 -chaos-crash '*@heal-report:3'
 package main
 
 import (
@@ -23,13 +34,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dist/chaos"
 	"repro/internal/gen"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -42,8 +56,21 @@ func main() {
 		verify     = flag.Bool("verify", true, "cross-check each round against the sequential reference")
 		every      = flag.Int("report-every", 50, "print a status line every k rounds")
 		batch      = flag.Int("batch", 0, "disaster mode: kill a BFS ball of up to k nodes around the attack's epicenter per round (0 = single kills)")
+
+		chaosMode  = flag.Bool("chaos", false, "hostile-network mode: fault-injecting transport, randomized kill/join workload, effective-op replay verification (ignores -attack, -batch, -verify)")
+		chaosDrop  = flag.Float64("chaos-drop", 0.05, "chaos: per-frame drop probability")
+		chaosDup   = flag.Float64("chaos-dup", 0.05, "chaos: per-frame duplication probability")
+		chaosDelay = flag.Float64("chaos-delay", 0.05, "chaos: per-frame delay probability")
+		chaosCrash = flag.String("chaos-crash", "*@heal-report:1,*@attach-ack:2", "chaos: crash schedule, comma-separated target@kind:nth (target * = any node)")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "chaos: fault-plan seed (independent of -seed, which still drives topology and workload)")
+		chaosOps   = flag.Int("chaos-ops", 80, "chaos: number of kill/join attempts")
 	)
 	flag.Parse()
+	if *chaosMode {
+		runChaosMode(*n, *seed, *healName,
+			*chaosDrop, *chaosDup, *chaosDelay, *chaosCrash, *chaosSeed, *chaosOps)
+		return
+	}
 	if *every <= 0 {
 		// Both round loops compute round % every; never divide by zero.
 		*every = 1
@@ -123,6 +150,46 @@ func main() {
 		}
 		fmt.Println("\nresult: distributed run matched the sequential reference exactly, every round")
 	}
+}
+
+// runChaosMode runs the scenario chaos differential with a fault plan
+// built from the CLI flags and exits nonzero if the network fails to
+// drain or drifts from the replay of its effective-operation log.
+func runChaosMode(n int, seed uint64, healName string,
+	drop, dup, delay float64, crashSpec string, chaosSeed uint64, ops int) {
+	if healName != "DASH" {
+		fatal(fmt.Errorf("-chaos supports only -heal DASH (the recovery epoch heals crashed sets with the batch rule)"))
+	}
+	crashes, err := chaos.ParseCrashes(crashSpec)
+	if err != nil {
+		fatal(err)
+	}
+	plan := &chaos.Plan{
+		Seed:    chaosSeed,
+		Drop:    drop,
+		Dup:     dup,
+		Delay:   delay,
+		Crashes: crashes,
+	}
+	fmt.Printf("chaos DASH: %d nodes, %d op attempts, drop=%.2f dup=%.2f delay=%.2f, crashes=%q, fault seed %d\n\n",
+		n, ops, drop, dup, delay, crashSpec, chaosSeed)
+	start := time.Now()
+	rep, err := scenario.ReplayChaosDifferential(scenario.ChaosConfig{
+		N:         n,
+		Seed:      seed,
+		Plan:      plan,
+		Ops:       ops,
+		JoinEvery: 5,
+		Timeout:   2 * time.Minute,
+	})
+	fmt.Printf("%d kills, %d joins, %d skipped, %d checks passed, %d crashed nodes in %s\n",
+		rep.Kills, rep.Joins, rep.Skipped, rep.Checks, rep.Crashes, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("transport: %d drops, %d dups, %d delays, %d retransmits\n", rep.Stats.Drops, rep.Stats.Dups, rep.Stats.Delays, rep.Stats.Retransmits)
+	if err != nil {
+		fmt.Printf("\nresult: FAILED — %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nresult: drained network matched the effective-op replay at every check")
 }
 
 // runBatchMode drives disaster rounds: the attack picks an epicenter on

@@ -1,0 +1,240 @@
+// Package chaos describes deterministic fault plans for the distributed
+// engine's transport layer. A Plan is pure data plus a stateless fate
+// function: the fate of a frame depends only on (seed, channel, sequence
+// number, attempt), never on wall-clock time or scheduling order, so two
+// runs over the same traffic draw the same faults regardless of how the
+// goroutines interleave. The package deliberately knows nothing about
+// internal/dist — dist imports chaos, interprets the plan at its
+// transport seam, and owns the retransmission machinery that makes a
+// faulty network survivable.
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Defaults used when the corresponding Plan field is zero.
+const (
+	// DefaultMaxAttempts is the retransmission attempt after which a
+	// frame bypasses probabilistic drop/dup/delay: the fault model is
+	// "lossy", not "severed", and this is what bounds how long a heal
+	// can be stalled by bad luck on one channel.
+	DefaultMaxAttempts = 8
+	// DefaultRTO is the base retransmission timeout; backoff doubles it
+	// per attempt up to DefaultRTOCap.
+	DefaultRTO    = 2 * time.Millisecond
+	DefaultRTOCap = 64 * time.Millisecond
+)
+
+// Wildcard, as a CrashPoint.Target, matches any receiver: the Nth
+// delivered frame of the named kind crashes whoever was receiving it —
+// e.g. "whichever node is acting leader when the Nth heal report lands".
+const Wildcard = -1
+
+// CrashPoint schedules a fail-stop crash at a named protocol step: the
+// Nth delivery of a Kind-named frame to Target (or to anyone, when
+// Target is Wildcard) kills the receiving node. Kind uses the protocol's
+// message names ("heal-report", "attach", "attach-ack", "death-notice",
+// ...); dist validates the name and rejects supervisor-originated kinds,
+// whose loss the model does not cover (the supervisor is the failure
+// detector, not a network participant). If the crash is not safe at that
+// moment (the failure detector defers crashes that would tear a batch
+// epoch or an in-flight recovery), the point re-arms and fires at the
+// next matching delivery.
+type CrashPoint struct {
+	Target int    // node index, or Wildcard
+	Kind   string // protocol message name, e.g. "heal-report"
+	Nth    int    // 1-based matching-delivery count
+}
+
+func (c CrashPoint) String() string {
+	t := "*"
+	if c.Target != Wildcard {
+		t = strconv.Itoa(c.Target)
+	}
+	return fmt.Sprintf("%s@%s:%d", t, c.Kind, c.Nth)
+}
+
+// Partition models a burst outage around a node group: while a frame
+// crossing between Group and the rest of the network has been attempted
+// at most Attempts times, it is dropped. Attempt counts make the window
+// deterministic in virtual time and guarantee it ends (the retransmit
+// layer's attempts eventually exceed it), unlike a wall-clock window.
+type Partition struct {
+	Group    []int
+	Attempts int
+}
+
+// Plan is one deterministic fault schedule. The zero value injects
+// nothing; NewKind-style constructors in dist treat a nil plan the same.
+type Plan struct {
+	Seed uint64
+
+	// Per-frame fault probabilities in [0,1]: drop the frame, deliver a
+	// duplicate copy, or delay it by up to MaxDelay. Applied per
+	// transmission attempt, acks included (acks reuse Drop).
+	Drop  float64
+	Dup   float64
+	Delay float64
+
+	// MaxDelay caps the injected delivery delay (0 means 1ms).
+	MaxDelay time.Duration
+
+	// MaxAttempts is the attempt count past which a frame bypasses the
+	// probabilistic faults above (0 means DefaultMaxAttempts).
+	// Partitions still apply — their windows are finite by construction.
+	MaxAttempts int
+
+	// RTO is the base retransmission timeout (0 means DefaultRTO).
+	RTO time.Duration
+
+	Partitions []Partition
+	Crashes    []CrashPoint
+}
+
+// Fate is the deterministic outcome drawn for one transmission attempt.
+type Fate struct {
+	Drop  bool
+	Dup   bool
+	Delay time.Duration
+}
+
+// maxAttempts returns the plan's fault-bypass threshold.
+func (p *Plan) maxAttempts(def int) int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return def
+}
+
+// MaxAttemptsOrDefault exposes the bypass threshold dist should honor.
+func (p *Plan) MaxAttemptsOrDefault() int { return p.maxAttempts(DefaultMaxAttempts) }
+
+// RTOOrDefault exposes the base retransmission timeout dist should honor.
+func (p *Plan) RTOOrDefault() time.Duration {
+	if p.RTO > 0 {
+		return p.RTO
+	}
+	return DefaultRTO
+}
+
+// MaxDelayOrDefault exposes the delay cap dist should honor.
+func (p *Plan) MaxDelayOrDefault() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return time.Millisecond
+}
+
+// splitmix64 is the usual 64-bit finalizer: a bijective avalanche mix,
+// cheap enough to call per frame.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// frameHash keys one transmission attempt: channel, sequence, attempt,
+// and a stream tag so the drop/dup/delay draws are independent.
+func (p *Plan) frameHash(stream, from, to int, seq uint64, attempt int) uint64 {
+	h := p.Seed
+	h = splitmix64(h ^ uint64(stream)<<56 ^ uint64(uint32(from)))
+	h = splitmix64(h ^ uint64(uint32(to)))
+	h = splitmix64(h ^ seq)
+	h = splitmix64(h ^ uint64(attempt))
+	return h
+}
+
+// FrameFate draws the deterministic fate of one transmission attempt of
+// the frame with sequence number seq on the (from → to) channel.
+// Attempts are 1-based; attempts past MaxAttempts bypass all
+// probabilistic faults (Partitions are consulted separately by
+// PartitionDrop).
+func (p *Plan) FrameFate(from, to int, seq uint64, attempt int) Fate {
+	if p == nil || attempt > p.maxAttempts(DefaultMaxAttempts) {
+		return Fate{}
+	}
+	var f Fate
+	f.Drop = p.Drop > 0 && unit(p.frameHash(1, from, to, seq, attempt)) < p.Drop
+	f.Dup = p.Dup > 0 && unit(p.frameHash(2, from, to, seq, attempt)) < p.Dup
+	if p.Delay > 0 && unit(p.frameHash(3, from, to, seq, attempt)) < p.Delay {
+		span := p.MaxDelayOrDefault()
+		f.Delay = time.Duration(1 + p.frameHash(4, from, to, seq, attempt)%uint64(span))
+	}
+	return f
+}
+
+// AckDrop draws whether the (to → from) acknowledgment for deliveries up
+// to seq is lost; ack loss reuses the Drop probability. A lost ack only
+// costs a retransmission that the receiver dedups.
+func (p *Plan) AckDrop(from, to int, seq uint64) bool {
+	if p == nil || p.Drop <= 0 {
+		return false
+	}
+	return unit(p.frameHash(5, from, to, seq, 0)) < p.Drop
+}
+
+// PartitionDrop reports whether a frame crossing from → to on its given
+// attempt falls inside an active partition window.
+func (p *Plan) PartitionDrop(from, to int, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	for _, part := range p.Partitions {
+		if attempt > part.Attempts {
+			continue
+		}
+		inA, inB := false, false
+		for _, v := range part.Group {
+			inA = inA || v == from
+			inB = inB || v == to
+		}
+		if inA != inB {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseCrashes parses a CLI crash schedule: comma-separated
+// "target@kind:nth" points, with "*" as the wildcard target, e.g.
+// "*@heal-report:3,7@attach:1".
+func ParseCrashes(s string) ([]CrashPoint, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []CrashPoint
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		at := strings.SplitN(tok, "@", 2)
+		if len(at) != 2 {
+			return nil, fmt.Errorf("chaos: crash point %q: want target@kind:nth", tok)
+		}
+		kn := strings.SplitN(at[1], ":", 2)
+		if len(kn) != 2 {
+			return nil, fmt.Errorf("chaos: crash point %q: want target@kind:nth", tok)
+		}
+		cp := CrashPoint{Target: Wildcard, Kind: kn[0]}
+		if at[0] != "*" {
+			t, err := strconv.Atoi(at[0])
+			if err != nil || t < 0 {
+				return nil, fmt.Errorf("chaos: crash point %q: bad target %q", tok, at[0])
+			}
+			cp.Target = t
+		}
+		n, err := strconv.Atoi(kn[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("chaos: crash point %q: bad count %q", tok, kn[1])
+		}
+		cp.Nth = n
+		out = append(out, cp)
+	}
+	return out, nil
+}

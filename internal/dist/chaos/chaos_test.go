@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFrameFateDeterministic pins the core contract: a fate depends only
+// on (seed, channel, seq, attempt), so replaying the same traffic draws
+// the same faults no matter how calls interleave with other channels.
+func TestFrameFateDeterministic(t *testing.T) {
+	p := &Plan{Seed: 99, Drop: 0.3, Dup: 0.3, Delay: 0.3, MaxDelay: 5 * time.Millisecond}
+	type key struct {
+		from, to int
+		seq      uint64
+		attempt  int
+	}
+	first := make(map[key]Fate)
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			for seq := uint64(1); seq <= 8; seq++ {
+				for attempt := 1; attempt <= 3; attempt++ {
+					first[key{from, to, seq, attempt}] = p.FrameFate(from, to, seq, attempt)
+				}
+			}
+		}
+	}
+	// Redraw in a scrambled order; every fate must match.
+	for k, want := range first {
+		if got := p.FrameFate(k.from, k.to, k.seq, k.attempt); got != want {
+			t.Fatalf("fate of (%d→%d seq %d attempt %d) changed across draws: %+v then %+v",
+				k.from, k.to, k.seq, k.attempt, want, got)
+		}
+	}
+}
+
+// TestFrameFateCoverage checks the probabilistic streams actually fire —
+// at 30% rates over 384 attempts, each fault class must appear, and the
+// drop/dup/delay draws must not be lockstep copies of one another.
+func TestFrameFateCoverage(t *testing.T) {
+	p := &Plan{Seed: 7, Drop: 0.3, Dup: 0.3, Delay: 0.3}
+	var drops, dups, delays, divergent int
+	for seq := uint64(1); seq <= 384; seq++ {
+		f := p.FrameFate(1, 2, seq, 1)
+		if f.Drop {
+			drops++
+		}
+		if f.Dup {
+			dups++
+		}
+		if f.Delay > 0 {
+			delays++
+			if f.Delay > p.MaxDelayOrDefault() {
+				t.Fatalf("seq %d: delay %v exceeds cap %v", seq, f.Delay, p.MaxDelayOrDefault())
+			}
+		}
+		if f.Drop != f.Dup || f.Dup != (f.Delay > 0) {
+			divergent++
+		}
+	}
+	if drops == 0 || dups == 0 || delays == 0 {
+		t.Fatalf("fault classes missing: drops=%d dups=%d delays=%d", drops, dups, delays)
+	}
+	if divergent == 0 {
+		t.Fatal("drop/dup/delay streams are lockstep — stream tags are not independent")
+	}
+}
+
+// TestFrameFateBypass: attempts past MaxAttempts must draw a clean fate,
+// otherwise an unlucky channel could be severed forever.
+func TestFrameFateBypass(t *testing.T) {
+	p := &Plan{Seed: 3, Drop: 1, Dup: 1, Delay: 1, MaxAttempts: 2}
+	if f := p.FrameFate(0, 1, 1, 2); !f.Drop {
+		t.Fatal("attempt at MaxAttempts should still draw faults (Drop=1)")
+	}
+	if f := p.FrameFate(0, 1, 1, 3); f.Drop || f.Dup || f.Delay != 0 {
+		t.Fatalf("attempt past MaxAttempts drew a fault: %+v", f)
+	}
+	var nilPlan *Plan
+	if f := nilPlan.FrameFate(0, 1, 1, 1); f.Drop || f.Dup || f.Delay != 0 {
+		t.Fatalf("nil plan drew a fault: %+v", f)
+	}
+}
+
+// TestAckDropDeterministic: ack loss reuses Drop on its own stream.
+func TestAckDropDeterministic(t *testing.T) {
+	p := &Plan{Seed: 21, Drop: 0.5}
+	var lost int
+	for seq := uint64(1); seq <= 64; seq++ {
+		a := p.AckDrop(1, 2, seq)
+		if a != p.AckDrop(1, 2, seq) {
+			t.Fatalf("ack fate of seq %d not deterministic", seq)
+		}
+		if a {
+			lost++
+		}
+	}
+	if lost == 0 || lost == 64 {
+		t.Fatalf("ack drops degenerate: %d/64", lost)
+	}
+	if (&Plan{Seed: 21}).AckDrop(1, 2, 1) {
+		t.Fatal("Drop=0 plan lost an ack")
+	}
+}
+
+// TestPartitionDrop: only frames crossing the group boundary fall inside
+// the window, and the window ends once attempts exceed it.
+func TestPartitionDrop(t *testing.T) {
+	p := &Plan{Partitions: []Partition{{Group: []int{1, 2}, Attempts: 3}}}
+	if !p.PartitionDrop(1, 5, 1) || !p.PartitionDrop(5, 2, 3) {
+		t.Fatal("crossing frame inside window not dropped")
+	}
+	if p.PartitionDrop(1, 2, 1) {
+		t.Fatal("intra-group frame dropped")
+	}
+	if p.PartitionDrop(5, 6, 1) {
+		t.Fatal("outside-group frame dropped")
+	}
+	if p.PartitionDrop(1, 5, 4) {
+		t.Fatal("frame past the attempt window dropped — partition never heals")
+	}
+}
+
+// TestParseCrashes round-trips the CLI syntax and rejects malformed
+// points.
+func TestParseCrashes(t *testing.T) {
+	pts, err := ParseCrashes(" *@heal-report:3, 7@attach:1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CrashPoint{
+		{Target: Wildcard, Kind: "heal-report", Nth: 3},
+		{Target: 7, Kind: "attach", Nth: 1},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("parsed %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d: %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+	if pts[0].String() != "*@heal-report:3" || pts[1].String() != "7@attach:1" {
+		t.Fatalf("String round-trip broke: %v %v", pts[0], pts[1])
+	}
+	if pts, err := ParseCrashes("  "); err != nil || pts != nil {
+		t.Fatalf("blank schedule: %v %v", pts, err)
+	}
+	for _, bad := range []string{"heal-report:3", "*@heal-report", "x@a:1", "*@a:0", "-2@a:1"} {
+		if _, err := ParseCrashes(bad); err == nil {
+			t.Fatalf("ParseCrashes(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestPlanDefaults pins the zero-value accessors dist relies on.
+func TestPlanDefaults(t *testing.T) {
+	p := &Plan{}
+	if p.MaxAttemptsOrDefault() != DefaultMaxAttempts {
+		t.Fatalf("MaxAttemptsOrDefault = %d", p.MaxAttemptsOrDefault())
+	}
+	if p.RTOOrDefault() != DefaultRTO {
+		t.Fatalf("RTOOrDefault = %v", p.RTOOrDefault())
+	}
+	if p.MaxDelayOrDefault() != time.Millisecond {
+		t.Fatalf("MaxDelayOrDefault = %v", p.MaxDelayOrDefault())
+	}
+	q := &Plan{MaxAttempts: 3, RTO: time.Second, MaxDelay: 2 * time.Second}
+	if q.MaxAttemptsOrDefault() != 3 || q.RTOOrDefault() != time.Second || q.MaxDelayOrDefault() != 2*time.Second {
+		t.Fatal("explicit plan fields not honored")
+	}
+}

@@ -84,6 +84,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dist/chaos"
 	"repro/internal/graph"
 )
 
@@ -140,6 +141,11 @@ type Network struct {
 	// Tests set it immediately after NewKind, before any Kill.
 	testDrop func(to int, msg message) bool
 
+	// transport delivers counted messages to mailboxes. The default is
+	// the direct in-process push; NewChaos swaps in the fault-injecting
+	// reliable channel (transport.go). Set once before any traffic.
+	transport Transport
+
 	// msgKindSent counts sends per message kind (atomic), the
 	// instrumentation behind the Lemma-8-style probe accounting tests.
 	msgKindSent [msgKindCount]int64
@@ -176,6 +182,37 @@ func NewKind(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
 	nw := assemble(g, ids, kind)
 	nw.start()
 	return nw
+}
+
+// NewChaos is NewKind over the fault-injecting transport: messages
+// between nodes are subjected to plan's deterministic drop, duplicate,
+// delay, partition, and crash schedule, and ride the sequenced,
+// acknowledged, retransmitting channel that makes the protocol converge
+// anyway. A nil plan yields a plain network. It returns an error for an
+// invalid plan (an unknown or supervisor-originated crash-point kind).
+func NewChaos(g *graph.Graph, ids []uint64, kind HealerKind, plan *chaos.Plan) (*Network, error) {
+	nw := assemble(g, ids, kind)
+	if plan != nil {
+		ct, err := newChaosTransport(nw, plan)
+		if err != nil {
+			return nil, err
+		}
+		nw.transport = ct
+	}
+	nw.start()
+	return nw, nil
+}
+
+// ChaosTransportStats reports the chaos transport's fault counters
+// (zero value and false when the network runs the direct transport).
+func (nw *Network) ChaosTransportStats() (ChaosStats, bool) {
+	ct, ok := nw.transport.(*chaosTransport)
+	if !ok {
+		return ChaosStats{}, false
+	}
+	st := ct.stats()
+	st.Crashes = nw.CrashCount()
+	return st, true
 }
 
 // assemble builds the network without starting any node goroutine. Tests
@@ -235,6 +272,7 @@ func assemble(g *graph.Graph, ids []uint64, kind HealerKind) *Network {
 		nodes[v] = nd
 	}
 	nw.nodes.Store(&nodes)
+	nw.transport = directTransport{nw: nw}
 	nw.pipe = newPipeline(nw, g)
 	nw.track.onZero = nw.pipe.onEpochZero
 	return nw
@@ -281,7 +319,7 @@ func (nw *Network) send(to int, msg message) {
 	if drop := nw.testDrop; drop != nil && drop(to, msg) {
 		return
 	}
-	nw.node(to).inbox.push(msg)
+	nw.transport.deliver(to, msg)
 }
 
 // MsgKindSent reports how many messages of one kind the whole network
@@ -319,6 +357,15 @@ func (nw *Network) KillAsync(v int) *Epoch {
 	return nw.pipe.issueKill(v)
 }
 
+// TryKillAsync is KillAsync without the panic: it returns nil when v is
+// dead, crashed, or already doomed by a pending epoch. The check and
+// the issue run under the scheduler lock, so a concurrent chaos crash
+// cannot invalidate the choice between them — which is exactly the race
+// a fault-schedule driver needs to be immune to.
+func (nw *Network) TryKillAsync(v int) *Epoch {
+	return nw.pipe.tryIssueKill(v)
+}
+
 // Join adds a new node attached to the distinct members of attachTo and
 // blocks until the join epoch has completed, mirroring core.State.Join:
 // the newcomer starts with δ = 0 (its initial degree is its join
@@ -348,6 +395,14 @@ func (nw *Network) JoinAsync(attachTo []int, id uint64) (int, *Epoch) {
 	return nw.pipe.issueJoin(attachTo, id)
 }
 
+// TryJoinAsync is JoinAsync without the panic: it returns (-1, nil)
+// when any attach target is dead, crashed, or doomed by a pending
+// epoch, with the check and the issue atomic under the scheduler lock
+// (see TryKillAsync).
+func (nw *Network) TryJoinAsync(attachTo []int, id uint64) (int, *Epoch) {
+	return nw.pipe.tryIssueJoin(attachTo, id)
+}
+
 // Drain blocks until every issued epoch has completed and no message is
 // in flight anywhere, or the timeout elapses. It is the pipelined
 // equivalent of the old global quiescence barrier — call it before
@@ -364,7 +419,7 @@ func (nw *Network) Drain(timeout time.Duration) error {
 		}
 	}
 	if !nw.track.wait(time.Until(deadline)) {
-		return fmt.Errorf("dist: drain: untracked traffic did not quiesce within %v\n%s", timeout, nw.DumpState())
+		return fmt.Errorf("dist: drain: %w", nw.stallError(0, "", timeout))
 	}
 	return nil
 }
@@ -540,6 +595,9 @@ func (nw *Network) Close() {
 		}
 	}
 	nw.wg.Wait()
+	if tc, ok := nw.transport.(transportCloser); ok {
+		tc.closeTransport()
+	}
 }
 
 // DumpState renders a human-readable diagnostic of the network's

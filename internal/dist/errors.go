@@ -1,0 +1,107 @@
+package dist
+
+// Typed stall diagnostics. A timed-out epoch wait or Drain used to
+// return an fmt.Errorf whose only structure was its message text;
+// callers (the scenario engine, the chaos dashboards) that want to react
+// to a stall — retry, attribute it to an epoch, assert on mailbox
+// depths in tests — had to re-parse the dump. StallError keeps the
+// exact legacy message text (several tests and downstream log scrapers
+// match its substrings) while exposing the stalled epoch IDs and
+// per-node mailbox depths as fields reachable through errors.As.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// StalledEpoch names one epoch that still had messages in flight when a
+// wait timed out.
+type StalledEpoch struct {
+	ID       uint64
+	Desc     string // the epoch's operation description, "" if unknown
+	InFlight int64  // its conservation-counter reading at timeout
+}
+
+// MailboxDepth is one live node's queued-message backlog at timeout.
+type MailboxDepth struct {
+	Node  int
+	Depth int
+}
+
+// StallError reports a failed quiescence wait: an epoch wait that hit
+// its deadline (Epoch != 0) or untracked traffic that Drain could not
+// flush (Epoch == 0). Its Error text is exactly the pre-typed message,
+// dump included; the fields carry the same facts structured.
+type StallError struct {
+	// Epoch is the epoch whose wait timed out, 0 for the global
+	// untracked-traffic form.
+	Epoch uint64
+	// Desc is the stalled epoch's operation description ("" for the
+	// global form).
+	Desc string
+	// Wait is the timeout that elapsed (global form only; the epoch
+	// form's deadline is shared across a Drain loop, so per-epoch wait
+	// budgets are not meaningful there).
+	Wait time.Duration
+	// Epochs lists every epoch with a non-zero in-flight counter at
+	// timeout, sorted by ID.
+	Epochs []StalledEpoch
+	// Mailboxes lists every live node with a non-empty mailbox at
+	// timeout, deepest first.
+	Mailboxes []MailboxDepth
+
+	dump string
+}
+
+func (e *StallError) Error() string {
+	if e.Epoch != 0 {
+		return fmt.Sprintf("dist: epoch %d (%s) did not quiesce within deadline\n%s",
+			e.Epoch, e.Desc, e.dump)
+	}
+	return fmt.Sprintf("untracked traffic did not quiesce within %v\n%s", e.Wait, e.dump)
+}
+
+// stallError builds a StallError from the network's current state. It
+// snapshots the per-epoch counters and mailbox depths at call time —
+// the same instant DumpState renders — so the fields and the text
+// describe one consistent observation.
+func (nw *Network) stallError(epoch uint64, desc string, wait time.Duration) *StallError {
+	e := &StallError{Epoch: epoch, Desc: desc, Wait: wait, dump: nw.DumpState()}
+	descs := nw.pipe.epochDescs()
+	for _, l := range nw.track.epochLoads() {
+		e.Epochs = append(e.Epochs, StalledEpoch{ID: l.epoch, Desc: descs[l.epoch], InFlight: l.count})
+	}
+	nw.mu.Lock()
+	dead := append([]bool(nil), nw.dead...)
+	nw.mu.Unlock()
+	for v, nd := range nw.nodeSlice() {
+		if nd == nil || v < len(dead) && dead[v] {
+			continue
+		}
+		if n := nd.inbox.size(); n > 0 {
+			e.Mailboxes = append(e.Mailboxes, MailboxDepth{Node: v, Depth: n})
+		}
+	}
+	sort.Slice(e.Mailboxes, func(i, j int) bool {
+		if e.Mailboxes[i].Depth != e.Mailboxes[j].Depth {
+			return e.Mailboxes[i].Depth > e.Mailboxes[j].Depth
+		}
+		return e.Mailboxes[i].Node < e.Mailboxes[j].Node
+	})
+	return e
+}
+
+// epochDescs snapshots the description of every incomplete epoch, for
+// attributing stalled counters to operations.
+func (pi *pipeline) epochDescs() map[uint64]string {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	out := make(map[uint64]string, len(pi.epochs))
+	for id, es := range pi.epochs {
+		if es.handle != nil {
+			out[id] = es.handle.desc
+		}
+	}
+	return out
+}

@@ -144,6 +144,24 @@ const (
 	// component minimum its probe converged on (in the label field).
 	msgBatchReport
 
+	// Crash-recovery vocabulary (recovery.go): when the chaos transport
+	// fail-stops a node mid-epoch, the supervisor — playing the failure
+	// detector — aborts the torn epoch and runs a recovery epoch over
+	// the crashed node plus the aborted epoch's victim.
+
+	// msgEpochAbort (supervisor → aborted epoch's region) tears down one
+	// epoch's partial work: the receiver unwinds any healing edges it
+	// wired for the epoch's victim, discards leader scratch state, and
+	// ignores the epoch's remaining coordination traffic.
+	msgEpochAbort
+
+	// msgCrashNotice (supervisor → a crash victim's neighbors) is the
+	// failure detector's tombstone for a crashed node: like a death
+	// notice, but lenient (the neighbor may already have dropped the
+	// edge) and with no election or report — the supervisor appoints the
+	// recovery leaders itself from its topology mirror.
+	msgCrashNotice
+
 	// msgKindCount sizes per-kind counter arrays; keep it last.
 	msgKindCount
 )
@@ -283,6 +301,10 @@ func (k msgKind) String() string {
 		return "batch-report-req"
 	case msgBatchReport:
 		return "batch-report"
+	case msgEpochAbort:
+		return "epoch-abort"
+	case msgCrashNotice:
+		return "crash-notice"
 	}
 	return "unknown"
 }

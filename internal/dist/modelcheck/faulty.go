@@ -1,0 +1,253 @@
+package modelcheck
+
+// Faulty-mode enumeration: the same exhaustive schedule search as Run,
+// over dist.FaultSim instead of dist.Sim — so the nondeterminism
+// includes budgeted frame drops, duplicates, retransmissions, and
+// supervisor-granted fail-stops, interleaved every possible way with
+// protocol deliveries.
+//
+// The oracle changes shape with the faults: a crash rewrites history
+// (an aborted kill never heals; the recovery heals the crashed set as
+// one batch), so terminal states are verified against a sequential
+// replay of the network's own effective-operation log rather than of
+// the issued operations. Distinct schedules that crash differently
+// reach different effective logs; each log's oracle is built once and
+// cached. Drops, duplicates, and retransmissions do NOT change the
+// oracle — the reliable channel delivers every message exactly once in
+// per-sender order regardless — which is precisely the hardening claim
+// this mode proves on small configurations.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// FaultConfig is one faulty-mode model-checking run.
+type FaultConfig struct {
+	Config
+
+	// Drops and Dups bound how many wire frames each schedule may
+	// drop / duplicate.
+	Drops int
+	Dups  int
+	// Crashes bounds fail-stops per schedule; CrashTargets lists the
+	// nodes a crash event may name (nil: no crash events).
+	Crashes      int
+	CrashTargets []int
+}
+
+// FaultResult extends Result with fault coverage counters.
+type FaultResult struct {
+	Result
+	// CrashedTerminals counts terminal states in which at least one
+	// crash actually fired. A leader-crash config must end with this
+	// non-zero, or the schedule space never exercised recovery.
+	CrashedTerminals int
+	// Oracles counts distinct effective-operation logs seen across
+	// terminals (1 when no crash ever fires; more when crashes rewrite
+	// history differently in different schedules).
+	Oracles int
+}
+
+// RunFaulty enumerates every schedule of cfg — protocol deliveries and
+// fault events alike — and verifies each terminal state against the
+// sequential replay of its effective-operation log.
+func RunFaulty(cfg FaultConfig) (FaultResult, error) {
+	c := &faultyChecker{cfg: cfg, budget: cfg.Budget}
+	if c.budget == 0 {
+		c.budget = DefaultBudget
+	}
+	switch cfg.Healer {
+	case dist.HealDASH:
+		c.healer = core.DASH{}
+	case dist.HealSDASH:
+		c.healer = core.SDASH{}
+	}
+
+	// Base replay of the issued ops: captures the initial IDs and each
+	// joiner's drawn ID. Joins never move in the effective log, so the
+	// join-ID draw order is the same in every effective replay.
+	g := cfg.Graph()
+	seq := core.NewState(g.Clone(), rng.New(cfg.Seed))
+	c.ids = make([]uint64, g.N())
+	for v := range c.ids {
+		c.ids[v] = seq.InitID(v)
+	}
+	joinR := rng.New(cfg.Seed + 1)
+	for _, op := range cfg.Ops {
+		switch op.Kind {
+		case OpKill:
+			seq.DeleteAndHeal(op.Victim, c.healer)
+		case OpJoin:
+			v := seq.Join(op.Attach, joinR)
+			c.joinIDs = append(c.joinIDs, seq.InitID(v))
+		case OpBatch:
+			seq.DeleteBatchAndHeal(op.Batch)
+		}
+	}
+
+	c.visited = make(map[[16]byte]struct{})
+	c.oracles = make(map[string]*core.State)
+	root, eps := c.build()
+	err := c.dfs(root, eps, nil)
+	c.res.Oracles = len(c.oracles)
+	return c.res, err
+}
+
+type faultyChecker struct {
+	cfg     FaultConfig
+	healer  core.Healer
+	ids     []uint64
+	joinIDs []uint64
+	visited map[[16]byte]struct{}
+	oracles map[string]*core.State
+	budget  int
+	res     FaultResult
+}
+
+func (c *faultyChecker) opts() dist.FaultOpts {
+	return dist.FaultOpts{
+		DropBudget:   c.cfg.Drops,
+		DupBudget:    c.cfg.Dups,
+		CrashBudget:  c.cfg.Crashes,
+		CrashTargets: c.cfg.CrashTargets,
+	}
+}
+
+// build assembles a fresh fault-simulated network with every op issued.
+func (c *faultyChecker) build() (*dist.FaultSim, []*dist.Epoch) {
+	s := dist.NewFaultSim(c.cfg.Graph(), c.ids, c.cfg.Healer, c.opts())
+	nw := s.Network()
+	eps := make([]*dist.Epoch, 0, len(c.cfg.Ops))
+	ji := 0
+	for _, op := range c.cfg.Ops {
+		switch op.Kind {
+		case OpKill:
+			eps = append(eps, nw.KillAsync(op.Victim))
+		case OpJoin:
+			_, ep := nw.JoinAsync(op.Attach, c.joinIDs[ji])
+			ji++
+			eps = append(eps, ep)
+		case OpBatch:
+			eps = append(eps, nw.KillBatchAsync(op.Batch))
+		}
+	}
+	return s, eps
+}
+
+func (c *faultyChecker) replay(prefix []dist.FaultEvent) (*dist.FaultSim, []*dist.Epoch) {
+	s, eps := c.build()
+	for _, ev := range prefix {
+		s.Apply(ev)
+		c.res.Deliveries++
+	}
+	return s, eps
+}
+
+func (c *faultyChecker) dfs(s *dist.FaultSim, eps []*dist.Epoch, prefix []dist.FaultEvent) error {
+	fp := s.Fingerprint()
+	if _, seen := c.visited[fp]; seen {
+		return nil
+	}
+	if len(c.visited) >= c.budget {
+		return fmt.Errorf("modelcheck: interleaving budget %d exceeded — enumeration is NOT exhaustive; raise Config.Budget", c.budget)
+	}
+	c.visited[fp] = struct{}{}
+	c.res.States = len(c.visited)
+	if len(prefix) > c.res.MaxDepth {
+		c.res.MaxDepth = len(prefix)
+	}
+
+	evs := s.Enabled()
+	if len(evs) == 0 {
+		c.res.Terminals++
+		return c.verify(s, eps, prefix)
+	}
+	for i, ev := range evs {
+		child, ceps := s, eps
+		if i < len(evs)-1 {
+			child, ceps = c.replay(prefix)
+		}
+		child.Apply(ev)
+		c.res.Deliveries++
+		next := make([]dist.FaultEvent, len(prefix)+1)
+		copy(next, prefix)
+		next[len(prefix)] = ev
+		if err := c.dfs(child, ceps, next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// oracle returns the sequential state reached by replaying ops,
+// building and caching it on first sight of this log.
+func (c *faultyChecker) oracle(ops []dist.EffectiveOp) *core.State {
+	sig := fmt.Sprintf("%v", ops)
+	if st, ok := c.oracles[sig]; ok {
+		return st
+	}
+	st := core.NewState(c.cfg.Graph(), rng.New(c.cfg.Seed))
+	joinR := rng.New(c.cfg.Seed + 1)
+	for _, op := range ops {
+		switch op.Kind {
+		case dist.EffKill:
+			st.DeleteAndHeal(op.Victim, c.healer)
+		case dist.EffJoin:
+			st.Join(op.Attach, joinR)
+		case dist.EffBatch:
+			st.DeleteBatchAndHeal(op.Batch)
+		}
+	}
+	c.oracles[sig] = st
+	return st
+}
+
+// verify checks a terminal state bit-for-bit against the sequential
+// replay of the schedule's effective-operation log.
+func (c *faultyChecker) verify(s *dist.FaultSim, eps []*dist.Epoch, prefix []dist.FaultEvent) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("modelcheck: schedule %v: %s", prefix, fmt.Sprintf(format, args...))
+	}
+	nw := s.Network()
+	if !s.Quiet() {
+		return fail("no schedulable event but traffic still in flight:\n%s", nw.DumpState())
+	}
+	for i, ep := range eps {
+		if !ep.Done() {
+			return fail("op %d (%v, epoch %d) never completed:\n%s",
+				i, c.cfg.Ops[i], ep.ID(), nw.DumpState())
+		}
+	}
+	if nw.CrashCount() > 0 {
+		c.res.CrashedTerminals++
+	}
+	seq := c.oracle(nw.EffectiveOps())
+	snap := nw.Snapshot()
+	if !snap.G.Equal(seq.G) {
+		return fail("G diverged from effective-op replay")
+	}
+	if !snap.Gp.Equal(seq.Gp) {
+		return fail("G′ diverged from effective-op replay")
+	}
+	if !snap.Gp.IsSubgraphOf(snap.G) {
+		return fail("G′ ⊄ G")
+	}
+	for _, v := range seq.G.AliveNodes() {
+		if snap.CurID[v] != seq.CurID(v) {
+			return fail("node %d label %d, sequential %d", v, snap.CurID[v], seq.CurID(v))
+		}
+		if snap.Delta[v] != seq.Delta(v) {
+			return fail("node %d δ=%d, sequential %d", v, snap.Delta[v], seq.Delta(v))
+		}
+	}
+	sum, max, rounds := nw.FloodStats()
+	if sum != seq.FloodDepthSum() || max != seq.MaxFloodDepth() || rounds != seq.Rounds() {
+		return fail("flood stats (sum=%d max=%d rounds=%d), sequential (%d, %d, %d)",
+			sum, max, rounds, seq.FloodDepthSum(), seq.MaxFloodDepth(), seq.Rounds())
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package dist
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // nbrInfo is everything a node knows about one G neighbor: its immutable
 // initial ID, its current component label (kept fresh by msgLabelNotify),
@@ -88,10 +91,33 @@ type node struct {
 	probeRoot int
 	probeBest uint64
 
+	// Crash-fault state (recovery.go). crashed is set by the supervisor
+	// (from the chaos transport's delivery path, hence atomic): the node
+	// becomes a black hole that consumes messages — ticking the epoch
+	// conservation counters — but acts on nothing until the recovery
+	// epoch's msgStop. crashArchived notes that the counters were
+	// archived on the first post-crash message. abortedEpochs guards
+	// against residual coordination traffic of kill epochs torn by a
+	// crash; roundWires records, per healing round, which G/G′ edges
+	// this endpoint added, so msgEpochAbort can unwind them exactly.
+	crashed       atomic.Bool
+	crashArchived bool
+	abortedEpochs map[uint64]struct{}
+	roundWires    map[int][]wireRec
+
 	// Traffic counters, split the way the paper's accounting splits them.
 	msgSent   int64 // Lemma 8 label notifications
 	coordMsgs int64 // death notices, reports, attach orders/acks, flood
 	nonMsgs   int64 // NoN gossip
+}
+
+// wireRec is one healing edge this node wired during a round, with
+// enough provenance to undo it: whether the G and G′ adjacencies were
+// actually new (an attach over a pre-existing real edge adds only G′).
+type wireRec struct {
+	peer    int
+	addedG  bool
+	addedGp bool
 }
 
 func (nd *node) delta() int { return len(nd.gNbrs) - nd.initDeg }
@@ -128,6 +154,35 @@ func (nd *node) run() {
 // handle dispatches one message; it reports true when the node must stop.
 func (nd *node) handle(msg message) bool {
 	nd.curEpoch = msg.epoch
+	if nd.crashed.Load() {
+		// Fail-stopped: consume everything (the conservation counters
+		// must still drain) but act on nothing, until the recovery
+		// epoch's msgStop. Counters are archived on the first post-crash
+		// message so Snapshot can still report them; snapshot requests
+		// are answered (stale state) so instrumentation never hangs.
+		if !nd.crashArchived {
+			nd.crashArchived = true
+			nd.nw.storeCrashStats(nd.id, finalStats{nd.msgSent, nd.coordMsgs, nd.nonMsgs})
+		}
+		if msg.kind == msgSnapshot {
+			msg.reply <- nd.snapshot()
+		}
+		return msg.kind == msgStop
+	}
+	if len(nd.abortedEpochs) > 0 {
+		if _, ab := nd.abortedEpochs[msg.epoch]; ab {
+			// Residual coordination traffic of a kill epoch torn by a
+			// crash: silently consumed. NoN gossip and label notifies
+			// still apply — the abort's retraction gossip travels under
+			// the aborted epoch too, and one-hop ring writes are valid
+			// regardless of the round's fate.
+			switch msg.kind {
+			case msgDeathNotice, msgHealReport, msgAttach, msgAttachAck,
+				msgNoNFull, msgLabelFlood:
+				return false
+			}
+		}
+	}
 	if nd.zombie {
 		// A committed batch victim: only late NoN gossip from survivors
 		// that had not yet processed every tombstone can still arrive
@@ -137,6 +192,10 @@ func (nd *node) handle(msg message) bool {
 		case msgStop:
 			return true
 		case msgNoNRemove, msgNoNAdd, msgLabelNotify:
+			return false
+		case msgEpochAbort, msgCrashNotice:
+			// Supervisor traffic from crash recovery; a zombie's state is
+			// about to be discarded, so there is nothing to unwind.
 			return false
 		default:
 			panic(fmt.Sprintf("dist: zombie %d got %v", nd.id, msg.kind))
@@ -226,6 +285,10 @@ func (nd *node) handle(msg message) bool {
 		nd.onBatchReportReq(msg.victim, msg.from)
 	case msgBatchReport:
 		nd.onBatchReport(msg.victim, msg.report, msg.label)
+	case msgEpochAbort:
+		nd.onEpochAbort(msg)
+	case msgCrashNotice:
+		nd.onCrashNotice(msg.victim)
 	default:
 		panic(fmt.Sprintf("dist: node %d: unknown message kind %v", nd.id, msg.kind))
 	}
@@ -449,6 +512,21 @@ func sortByDeltaID(rt []healReport) {
 // neighbors need nothing.
 func (nd *node) onAttach(msg message) {
 	b := msg.peer
+	_, hadG := nd.gNbrs[b]
+	_, hadGp := nd.gpNbrs[b]
+	if nd.roundWires == nil {
+		nd.roundWires = make(map[int][]wireRec)
+	}
+	for x := range nd.roundWires {
+		// Any other round this endpoint wired for has completed (an
+		// endpoint is in at most one active round's region at a time);
+		// only the current round can still be aborted.
+		if x != msg.victim {
+			delete(nd.roundWires, x)
+		}
+	}
+	nd.roundWires[msg.victim] = append(nd.roundWires[msg.victim],
+		wireRec{peer: b, addedG: !hadG, addedGp: !hadGp})
 	if _, already := nd.gNbrs[b]; !already {
 		info := &nbrInfo{initID: msg.peerInitID, curID: msg.peerCurID}
 		if hello, ok := nd.pendingHello[b]; ok {
@@ -527,6 +605,11 @@ func (nd *node) onAttachAck(x int) {
 func (nd *node) startFlood(x int, hs *healState) {
 	defer nd.finishRound(x, hs)
 	if len(hs.rt) == 0 {
+		return
+	}
+	if !nd.nw.noteFloodStarted(nd.curEpoch) {
+		// The epoch was aborted by crash recovery while the last attach
+		// ack was in flight: no label may change.
 		return
 	}
 	minID := hs.rt[0].curID
@@ -772,6 +855,69 @@ func (nd *node) onBatchReport(root int, rep healReport, compMin uint64) {
 	sortByDeltaID(rt)
 	hs.rt = rt
 	nd.sendAttachOrders(root, hs, treeEdges(rt))
+}
+
+// --- Crash-recovery handlers (recovery.go's node side) ---
+
+// onEpochAbort unwinds this node's share of a kill epoch torn by a
+// crash. The epoch is pre-flood by construction, so the only local
+// mutations are the healing edges recorded in roundWires (undone here,
+// with retraction gossip), leader scratch state (discarded), and
+// buffered hellos (cleared — only the torn round's strays can be
+// buffered, since completed rounds drain their hellos before the epoch
+// ends). The victim's death itself stays: the recovery epoch re-heals
+// it as part of the crashed set.
+func (nd *node) onEpochAbort(msg message) {
+	if nd.abortedEpochs == nil {
+		nd.abortedEpochs = make(map[uint64]struct{})
+	}
+	nd.abortedEpochs[msg.epoch] = struct{}{}
+	if len(nd.abortedEpochs) > 8 {
+		// At most one abort is ever in flight, so older entries' traffic
+		// has fully drained; keep the guard set bounded.
+		oldest := msg.epoch
+		for e := range nd.abortedEpochs {
+			if e < oldest {
+				oldest = e
+			}
+		}
+		delete(nd.abortedEpochs, oldest)
+	}
+	x := msg.victim
+	for _, rec := range nd.roundWires[x] {
+		if rec.addedGp {
+			delete(nd.gpNbrs, rec.peer)
+		}
+		if rec.addedG {
+			delete(nd.gNbrs, rec.peer)
+			for w := range nd.gNbrs {
+				nd.nonMsgs++
+				nd.send(w, message{kind: msgNoNRemove, from: nd.id, nonPeer: rec.peer})
+			}
+		}
+	}
+	delete(nd.roundWires, x)
+	delete(nd.heals, x)
+	if len(nd.pendingHello) > 0 {
+		nd.pendingHello = make(map[int]map[int]uint64)
+	}
+}
+
+// onCrashNotice is the survivor side of a crashed node's tombstone:
+// like onDeathNotice but lenient (the edge may already be gone — the
+// aborted epoch's death notice, when processed, removed it) and with no
+// election or report, since the supervisor appoints the recovery
+// leaders itself.
+func (nd *node) onCrashNotice(w int) {
+	if _, ok := nd.gNbrs[w]; !ok {
+		return
+	}
+	delete(nd.gNbrs, w)
+	delete(nd.gpNbrs, w)
+	for u := range nd.gNbrs {
+		nd.nonMsgs++
+		nd.send(u, message{kind: msgNoNRemove, from: nd.id, nonPeer: w})
+	}
 }
 
 func (nd *node) snapshot() nodeSnap {

@@ -82,6 +82,7 @@ const (
 	epJoin
 	epBatch
 	epCluster // one batch cluster's heal, a child of an epBatch epoch
+	epRecover // crash recovery: heals around a crashed node (+ an aborted kill's victim)
 )
 
 func (k epochKind) String() string {
@@ -94,6 +95,8 @@ func (k epochKind) String() string {
 		return "batch"
 	case epCluster:
 		return "cluster-heal"
+	case epRecover:
+		return "crash-recovery"
 	}
 	return "unknown"
 }
@@ -139,8 +142,7 @@ func (ep *Epoch) waitDeadline(deadline time.Time) error {
 	case <-ep.done:
 		return nil
 	case <-timer.C:
-		return fmt.Errorf("dist: epoch %d (%s) did not quiesce within deadline\n%s",
-			ep.id, ep.desc, ep.nw.DumpState())
+		return ep.nw.stallError(ep.id, ep.desc, 0)
 	}
 }
 
@@ -159,6 +161,19 @@ type epochState struct {
 	deps      map[uint64]struct{}
 	launched  bool
 	completed bool
+
+	// Crash recovery (recovery.go). aborted marks a kill epoch torn by a
+	// mid-epoch crash: when its in-flight traffic drains it abort-
+	// finishes (cleanup, no heal) instead of completing. floodStarted is
+	// set — under pi.mu, before the first flood message is sent — once
+	// the epoch's MINID wave has begun, the point of no return past
+	// which the crash machinery must defer rather than abort. adopts
+	// are the handles of aborted epochs a recovery epoch completes on
+	// behalf of (a Kill blocked on an aborted epoch returns when the
+	// recovery that subsumed it finishes).
+	aborted      bool
+	floodStarted bool
+	adopts       []*Epoch
 
 	// Kill payload.
 	victim int
@@ -209,6 +224,17 @@ type pipeline struct {
 	releases []uint64
 	flushing bool
 
+	// effLog is the effective-operation log: the sequence of operations
+	// that actually mutated the network, in oracle order. Issue paths
+	// append; a crash expunges the aborted kill's entry and appends the
+	// recovery batch (see recovery.go for why appending is sound).
+	// crashed marks nodes fail-stopped by the chaos transport;
+	// recovering is true while a recovery epoch is incomplete (at most
+	// one recovery is ever in flight).
+	effLog     []effEntry
+	crashed    map[int]bool
+	recovering bool
+
 	attachMu  sync.Mutex
 	attachRec map[uint64][][2]int // per-epoch attach edges seen by transport
 }
@@ -229,6 +255,7 @@ func newPipeline(nw *Network, g *graph.Graph) *pipeline {
 		mirG:          g.Clone(),
 		mirGp:         mirGp,
 		attachRec:     make(map[uint64][][2]int),
+		crashed:       make(map[int]bool),
 	}
 }
 
@@ -379,13 +406,24 @@ func (pi *pipeline) flush() {
 // ---- issue paths ----
 
 func (pi *pipeline) issueKill(v int) *Epoch {
+	ep := pi.tryIssueKill(v)
+	if ep == nil {
+		panic(fmt.Sprintf("dist: killing dead node %d", v))
+	}
+	return ep
+}
+
+// tryIssueKill is issueKill returning nil instead of panicking on an
+// invalid victim; validity and issue are atomic under pi.mu so chaos
+// crashes cannot invalidate the check mid-issue.
+func (pi *pipeline) tryIssueKill(v int) *Epoch {
 	pi.mu.Lock()
 	pi.nw.mu.Lock()
 	bad := v < 0 || v >= pi.nw.n || pi.nw.dead[v]
 	pi.nw.mu.Unlock()
-	if _, doomed := pi.pendingVictim[v]; bad || doomed {
+	if _, doomed := pi.pendingVictim[v]; bad || doomed || pi.crashed[v] {
 		pi.mu.Unlock()
-		panic(fmt.Sprintf("dist: killing dead node %d", v))
+		return nil
 	}
 	es := &epochState{
 		id:     pi.nextEpoch,
@@ -398,6 +436,7 @@ func (pi *pipeline) issueKill(v int) *Epoch {
 	es.region, _ = pi.growRegion(seeds)
 	es.universal = es.region == nil
 	pi.pendingVictim[v] = es.id
+	pi.effLog = append(pi.effLog, effEntry{epoch: es.id, op: EffectiveOp{Kind: EffKill, Victim: v}})
 	pi.enqueue(es)
 	pi.mu.Unlock()
 	pi.flush()
@@ -405,6 +444,17 @@ func (pi *pipeline) issueKill(v int) *Epoch {
 }
 
 func (pi *pipeline) issueJoin(attachTo []int, id uint64) (int, *Epoch) {
+	v, ep := pi.tryIssueJoin(attachTo, id)
+	if ep == nil {
+		panic("dist: joining to dead node")
+	}
+	return v, ep
+}
+
+// tryIssueJoin is issueJoin returning (-1, nil) instead of panicking on
+// a dead, crashed, or doomed attach target (atomic with the issue, see
+// tryIssueKill).
+func (pi *pipeline) tryIssueJoin(attachTo []int, id uint64) (int, *Epoch) {
 	// Dedupe while preserving order (core.Join tolerates duplicates
 	// too: the second AddEdge is a no-op).
 	attach := make([]int, 0, len(attachTo))
@@ -423,10 +473,10 @@ func (pi *pipeline) issueJoin(attachTo []int, id uint64) (int, *Epoch) {
 	nw.mu.Lock()
 	for _, u := range attach {
 		_, doomed := pi.pendingVictim[u]
-		if u < 0 || u >= nw.n || nw.dead[u] || doomed {
+		if u < 0 || u >= nw.n || nw.dead[u] || doomed || pi.crashed[u] {
 			nw.mu.Unlock()
 			pi.mu.Unlock()
-			panic(fmt.Sprintf("dist: joining to dead node %d", u))
+			return -1, nil
 		}
 	}
 	// Allocate the slot at issue time so indices follow issue order —
@@ -487,6 +537,9 @@ func (pi *pipeline) issueJoin(attachTo []int, id uint64) (int, *Epoch) {
 	for _, u := range attach {
 		es.region[u] = struct{}{}
 	}
+	pi.effLog = append(pi.effLog, effEntry{epoch: es.id, op: EffectiveOp{
+		Kind: EffJoin, NewID: v, InitID: id, Attach: append([]int(nil), attach...),
+	}})
 	pi.enqueue(es)
 	pi.mu.Unlock()
 	pi.flush()
@@ -516,6 +569,7 @@ func (pi *pipeline) issueBatch(vs []int) *Epoch {
 	nw.mu.Unlock()
 	if len(batch) == 0 {
 		// An empty batch is still a round, as in the sequential engine.
+		pi.effLog = append(pi.effLog, effEntry{op: EffectiveOp{Kind: EffBatch}})
 		pi.mu.Unlock()
 		nw.mu.Lock()
 		nw.rounds++
@@ -542,6 +596,9 @@ func (pi *pipeline) issueBatch(vs []int) *Epoch {
 	for _, v := range batch {
 		pi.pendingVictim[v] = es.id
 	}
+	pi.effLog = append(pi.effLog, effEntry{epoch: es.id, op: EffectiveOp{
+		Kind: EffBatch, Batch: append([]int(nil), batch...),
+	}})
 	pi.enqueue(es)
 	pi.mu.Unlock()
 	pi.flush()
@@ -583,6 +640,8 @@ func (pi *pipeline) launch(es *epochState) {
 		pi.stageSend(es, func() {
 			pi.nw.send(es.leader, message{kind: msgBatchHealStart, from: srcSupervisor, epoch: es.id, victim: es.root})
 		})
+	case epRecover:
+		pi.launchRecover(es)
 	}
 }
 
@@ -609,6 +668,12 @@ func (pi *pipeline) onEpochZero(epoch uint64) {
 }
 
 func (pi *pipeline) advance(es *epochState) {
+	if es.aborted {
+		// A kill epoch torn by a crash: its traffic (abort orders and
+		// retraction gossip included) has drained; retire it unhealed.
+		pi.abortFinish(es)
+		return
+	}
 	switch es.kind {
 	case epKill:
 		pi.completeKill(es)
@@ -618,6 +683,8 @@ func (pi *pipeline) advance(es *epochState) {
 		pi.advanceBatch(es)
 	case epCluster:
 		pi.advanceCluster(es)
+	case epRecover:
+		pi.advanceRecover(es)
 	}
 }
 
@@ -879,6 +946,16 @@ func (pi *pipeline) finish(es *epochState) {
 		for _, v := range es.batch {
 			delete(pi.pendingVictim, v)
 		}
+	case epRecover:
+		for _, v := range es.batch {
+			delete(pi.pendingVictim, v)
+		}
+		// Aborted kills whose heal this recovery re-ran: their callers'
+		// handles resolve now.
+		for _, h := range es.adopts {
+			close(h.done)
+		}
+		pi.recovering = false
 	}
 	for _, id := range pi.order {
 		waiting := pi.epochs[id]

@@ -41,6 +41,12 @@ import (
 // Sim drives an unstarted network deterministically.
 type Sim struct {
 	nw *Network
+	// gone marks nodes whose handler returned true — in the goroutine
+	// runtime their loop has returned, so messages queued at them can
+	// never be consumed. Enabled stops scheduling their mailboxes;
+	// anything still queued there is a wedge the terminal check reports,
+	// exactly as a Drain timeout would in the concurrent runtime.
+	gone map[int]bool
 }
 
 // SimEvent names one deliverable event: the oldest undelivered message
@@ -56,7 +62,7 @@ func (ev SimEvent) String() string {
 
 // NewSim builds a simulated network over g (no goroutines are started).
 func NewSim(g *graph.Graph, ids []uint64, kind HealerKind) *Sim {
-	return &Sim{nw: assemble(g, ids, kind)}
+	return &Sim{nw: assemble(g, ids, kind), gone: make(map[int]bool)}
 }
 
 // Network exposes the underlying network (snapshots, flood stats, and
@@ -69,7 +75,7 @@ func (s *Sim) Network() *Network { return s.nw }
 func (s *Sim) Enabled() []SimEvent {
 	var evs []SimEvent
 	for to, nd := range s.nw.nodeSlice() {
-		if nd == nil {
+		if nd == nil || s.gone[to] {
 			continue
 		}
 		seen := make(map[int]struct{})
@@ -106,7 +112,9 @@ func (s *Sim) Deliver(ev SimEvent) {
 		panic(fmt.Sprintf("dist: no queued message on channel %v", ev))
 	}
 	msg := nd.inbox.takeAt(idx)
-	nd.handle(msg)
+	if nd.handle(msg) {
+		s.gone[ev.To] = true
+	}
 	s.nw.track.done(msg.epoch)
 }
 
@@ -184,9 +192,19 @@ func writeGraph(w io.Writer, tag string, g *graph.Graph) {
 }
 
 func (nd *node) writeState(w io.Writer) {
-	fmt.Fprintf(w, "n%d(id%d cur%d deg%d fr%d fh%d dy%t z%t br%d pr%d pb%d ",
+	fmt.Fprintf(w, "n%d(id%d cur%d deg%d fr%d fh%d dy%t z%t cr%t br%d pr%d pb%d ",
 		nd.id, nd.initID, nd.curID, nd.initDeg, nd.floodRound, nd.floodHops,
-		nd.dying, nd.zombie, nd.batchRoot, nd.probeRoot, nd.probeBest)
+		nd.dying, nd.zombie, nd.crashed.Load(), nd.batchRoot, nd.probeRoot, nd.probeBest)
+	if len(nd.abortedEpochs) > 0 {
+		fmt.Fprintf(w, "ab%v ", sortedKeysU64(nd.abortedEpochs))
+	}
+	for _, victim := range sortedKeys(nd.roundWires) {
+		fmt.Fprintf(w, "rw%d[", victim)
+		for _, rec := range nd.roundWires[victim] {
+			fmt.Fprintf(w, "(%d,%t,%t)", rec.peer, rec.addedG, rec.addedGp)
+		}
+		fmt.Fprint(w, "]")
+	}
 	for _, u := range sortedKeys(nd.gNbrs) {
 		info := nd.gNbrs[u]
 		fmt.Fprintf(w, "g%d(%d,%d", u, info.initID, info.curID)
@@ -249,9 +267,17 @@ func (nd *node) writeState(w io.Writer) {
 func (pi *pipeline) writeState(w io.Writer) {
 	pi.mu.Lock()
 	defer pi.mu.Unlock()
-	fmt.Fprintf(w, "pi(next%d serial%t order%v ", pi.nextEpoch, pi.serial, pi.order)
+	fmt.Fprintf(w, "pi(next%d serial%t rec%t order%v ", pi.nextEpoch, pi.serial, pi.recovering, pi.order)
 	for _, v := range sortedKeys(pi.pendingVictim) {
 		fmt.Fprintf(w, "pv%d:%d,", v, pi.pendingVictim[v])
+	}
+	if len(pi.crashed) > 0 {
+		fmt.Fprintf(w, "cr%v ", sortedKeys(pi.crashed))
+	}
+	for _, ent := range pi.effLog {
+		op := ent.op
+		fmt.Fprintf(w, "ef(%d k%d v%d b%v id%d at%v in%d)",
+			ent.epoch, op.Kind, op.Victim, op.Batch, op.NewID, op.Attach, op.InitID)
 	}
 	ids := make([]uint64, 0, len(pi.epochs))
 	for id := range pi.epochs {
@@ -260,9 +286,10 @@ func (pi *pipeline) writeState(w io.Writer) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		es := pi.epochs[id]
-		fmt.Fprintf(w, "e%d(%d %q l%t c%t v%d new%d at%v b%v root%d ld%d u%t ",
-			id, es.kind, es.stage, es.launched, es.completed, es.victim,
-			es.newID, es.attach, es.batch, es.root, es.leader, es.universal)
+		fmt.Fprintf(w, "e%d(%d %q l%t c%t ab%t ff%t v%d new%d at%v b%v root%d ld%d u%t ",
+			id, es.kind, es.stage, es.launched, es.completed, es.aborted,
+			es.floodStarted, es.victim, es.newID, es.attach, es.batch,
+			es.root, es.leader, es.universal)
 		fmt.Fprintf(w, "rg%v ", sortedKeys(es.region))
 		deps := make([]uint64, 0, len(es.deps))
 		for d := range es.deps {
@@ -290,6 +317,9 @@ func (s *Sim) writeState(w io.Writer) {
 	nw := s.nw
 	nw.mu.Lock()
 	fmt.Fprintf(w, "nw(n%d rounds%d fs%d fm%d dead%v ", nw.n, nw.rounds, nw.floodSum, nw.floodMax, nw.dead)
+	if len(s.gone) > 0 {
+		fmt.Fprintf(w, "gone%v ", sortedKeys(s.gone))
+	}
 	for _, e := range sortedKeysU64(nw.epochHops) {
 		writeHopMap(w, e, nw.epochHops[e])
 	}

@@ -1,0 +1,136 @@
+package scenario
+
+// Hostile-network differential tests: randomized kill/join workloads
+// over the chaos transport, verified at every drain against the
+// sequential replay of the network's effective-operation log. Eight
+// seeded fault schedules — each with drop, duplicate, and delay
+// probabilities of at least 0.05 and wildcard crash points that must
+// fail-stop at least two nodes mid-epoch — are the CI gate for the
+// retransmission/ack hardening and the crash-recovery path.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/dist/chaos"
+)
+
+// chaosPlan builds the seeded fault schedule for one differential run:
+// probabilistic loss on every channel plus wildcard crash points spread
+// over the protocol steps a crash may legally interrupt. Several points
+// are scheduled because an ineligible crash re-arms rather than fires;
+// the test asserts at least two actually landed.
+func chaosPlan(seed uint64) *chaos.Plan {
+	return &chaos.Plan{
+		Seed:  seed,
+		Drop:  0.06,
+		Dup:   0.05,
+		Delay: 0.07,
+		// Tight retransmission clock: the differential drains often, and
+		// the default 2ms RTO would dominate wall time.
+		RTO:      500 * time.Microsecond,
+		MaxDelay: 2 * time.Millisecond,
+		Crashes: []chaos.CrashPoint{
+			{Target: chaos.Wildcard, Kind: "heal-report", Nth: 1},
+			{Target: chaos.Wildcard, Kind: "heal-report", Nth: 9},
+			{Target: chaos.Wildcard, Kind: "label-notify", Nth: 4},
+			{Target: chaos.Wildcard, Kind: "attach-ack", Nth: 2},
+		},
+	}
+}
+
+// runChaosSchedules drives the eight seeded schedules at the given
+// scale and asserts the acceptance bar: every run drains, matches its
+// effective-op replay at every flush, exercises every probabilistic
+// fault class, and crashes at least two nodes.
+func runChaosSchedules(t *testing.T, n, ops int) {
+	t.Helper()
+	for seed := uint64(1); seed <= 8; seed++ {
+		t.Run(string(rune('0'+seed)), func(t *testing.T) {
+			t.Parallel()
+			rep, err := ReplayChaosDifferential(ChaosConfig{
+				N:         n,
+				Seed:      seed * 104729,
+				Plan:      chaosPlan(seed),
+				Ops:       ops,
+				JoinEvery: 5,
+				Timeout:   60 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%d kills, %d joins, %d skipped, %d checks, %d crashes, stats %+v",
+				rep.Kills, rep.Joins, rep.Skipped, rep.Checks, rep.Crashes, rep.Stats)
+			if rep.Crashes < 2 {
+				t.Fatalf("schedule crashed %d nodes, want ≥ 2", rep.Crashes)
+			}
+			if rep.Stats.Drops == 0 || rep.Stats.Dups == 0 || rep.Stats.Delays == 0 || rep.Stats.Retransmits == 0 {
+				t.Fatalf("fault classes missing from run: %+v", rep.Stats)
+			}
+			if rep.Kills == 0 || rep.Joins == 0 {
+				t.Fatalf("degenerate workload: %d kills, %d joins", rep.Kills, rep.Joins)
+			}
+		})
+	}
+}
+
+// TestChaosDifferentialSchedules is the eight-schedule acceptance gate.
+// Short mode shrinks the graph and workload but keeps every assertion.
+func TestChaosDifferentialSchedules(t *testing.T) {
+	if testing.Short() {
+		runChaosSchedules(t, 96, 40)
+		return
+	}
+	runChaosSchedules(t, 384, 80)
+}
+
+// TestChaosDifferential10k is the large-scale smoke: one seeded
+// schedule, ten thousand nodes, the full fault class mix.
+func TestChaosDifferential10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node chaos run; run without -short")
+	}
+	rep, err := ReplayChaosDifferential(ChaosConfig{
+		N:         10_000,
+		Seed:      424243,
+		Plan:      chaosPlan(99),
+		Ops:       96,
+		JoinEvery: 6,
+		Window:    12,
+		Timeout:   120 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d kills, %d joins, %d skipped, %d checks, %d crashes, stats %+v",
+		rep.Kills, rep.Joins, rep.Skipped, rep.Checks, rep.Crashes, rep.Stats)
+	if rep.Crashes < 2 {
+		t.Fatalf("schedule crashed %d nodes, want ≥ 2", rep.Crashes)
+	}
+	if rep.Stats.Drops == 0 || rep.Stats.Dups == 0 || rep.Stats.Delays == 0 || rep.Stats.Retransmits == 0 {
+		t.Fatalf("fault classes missing from run: %+v", rep.Stats)
+	}
+}
+
+// TestChaosDifferentialFaultFree pins that a nil plan degenerates to a
+// plain pipelined differential: no chaos transport, no crashes, and the
+// same bit-exact equivalence.
+func TestChaosDifferentialFaultFree(t *testing.T) {
+	rep, err := ReplayChaosDifferential(ChaosConfig{
+		N:         96,
+		Seed:      7,
+		Ops:       40,
+		JoinEvery: 4,
+		Timeout:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 0 || rep.Skipped != 0 {
+		t.Fatalf("fault-free run recorded faults: %+v", rep)
+	}
+	if rep.Stats != (dist.ChaosStats{}) {
+		t.Fatalf("fault-free run has transport stats: %+v", rep.Stats)
+	}
+}
