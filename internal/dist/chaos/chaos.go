@@ -27,6 +27,10 @@ const (
 	// per attempt up to DefaultRTOCap.
 	DefaultRTO    = 2 * time.Millisecond
 	DefaultRTOCap = 64 * time.Millisecond
+	// MinRTO floors a plan-supplied RTO: the retransmit scanner ticks at
+	// RTO/2, so an arbitrarily small (e.g. fuzzer-drawn) RTO would round
+	// the ticker interval to a non-positive duration and panic.
+	MinRTO = 100 * time.Microsecond
 )
 
 // Wildcard, as a CrashPoint.Target, matches any receiver: the Nth
@@ -113,12 +117,16 @@ func (p *Plan) maxAttempts(def int) int {
 // MaxAttemptsOrDefault exposes the bypass threshold dist should honor.
 func (p *Plan) MaxAttemptsOrDefault() int { return p.maxAttempts(DefaultMaxAttempts) }
 
-// RTOOrDefault exposes the base retransmission timeout dist should honor.
+// RTOOrDefault exposes the base retransmission timeout dist should
+// honor: DefaultRTO when unset, and never below MinRTO.
 func (p *Plan) RTOOrDefault() time.Duration {
-	if p.RTO > 0 {
-		return p.RTO
+	if p.RTO <= 0 {
+		return DefaultRTO
 	}
-	return DefaultRTO
+	if p.RTO < MinRTO {
+		return MinRTO
+	}
+	return p.RTO
 }
 
 // MaxDelayOrDefault exposes the delay cap dist should honor.

@@ -169,4 +169,10 @@ func TestPlanDefaults(t *testing.T) {
 	if q.MaxAttemptsOrDefault() != 3 || q.RTOOrDefault() != time.Second || q.MaxDelayOrDefault() != 2*time.Second {
 		t.Fatal("explicit plan fields not honored")
 	}
+	// A sub-minimum RTO (e.g. 1ns from a fuzzer-drawn plan) must clamp to
+	// MinRTO — dist tickers at RTO/2, which would panic at zero.
+	tiny := &Plan{RTO: time.Nanosecond}
+	if tiny.RTOOrDefault() != MinRTO {
+		t.Fatalf("RTOOrDefault(1ns) = %v, want MinRTO %v", tiny.RTOOrDefault(), MinRTO)
+	}
 }

@@ -130,6 +130,17 @@ type frameState struct {
 // sender-side sequence numbering and retransmission queue, receiver-side
 // cumulative-delivery cursor and resequencing buffer.
 type relChan struct {
+	// deliverMu serializes arrive() end to end: advancing the delivery
+	// cursor and pushing the resulting in-order suffix into the mailbox
+	// must be one atomic step. If they were split (cursor under mu, push
+	// after), a concurrent arrival on the same channel — a retransmitted
+	// seq n+1 racing a delayed duplicate of seq n — could advance the
+	// cursor and push its suffix first, breaking per-sender FIFO.
+	// Acquired before mu, and only by arrive; everything reached under it
+	// (mailbox pushes, the crash machinery) is non-blocking and never
+	// re-enters arrive, so no lock cycle is possible.
+	deliverMu sync.Mutex
+
 	mu      sync.Mutex
 	nextSeq uint64
 	unacked map[uint64]*frameState
@@ -156,6 +167,14 @@ type chaosTransport struct {
 	mu    sync.Mutex
 	chans map[chKey]*relChan
 
+	// timerMu guards the set of in-flight delay/dup timers so
+	// closeTransport can stop them; closed makes any timer that already
+	// fired (and any late after call) a no-op, so no arrive can run
+	// against a network being torn down.
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
+	closed  bool
+
 	// arms holds each crash point's remaining matching-delivery count;
 	// 0 means fired and disarmed. kinds is the resolved kind per point.
 	armMu sync.Mutex
@@ -174,12 +193,13 @@ func newChaosTransport(nw *Network, plan *chaos.Plan) (*chaosTransport, error) {
 		return nil, err
 	}
 	ct := &chaosTransport{
-		nw:    nw,
-		plan:  plan,
-		stop:  make(chan struct{}),
-		chans: make(map[chKey]*relChan),
-		arms:  make([]int, len(plan.Crashes)),
-		kinds: kinds,
+		nw:     nw,
+		plan:   plan,
+		stop:   make(chan struct{}),
+		chans:  make(map[chKey]*relChan),
+		timers: make(map[*time.Timer]struct{}),
+		arms:   make([]int, len(plan.Crashes)),
+		kinds:  kinds,
 	}
 	for i, cp := range plan.Crashes {
 		ct.arms[i] = cp.Nth
@@ -243,14 +263,42 @@ func (ct *chaosTransport) transmit(ch *relChan, from, to int, fr *frameState) {
 	if fate.Dup {
 		ct.dups.Add(1)
 		lag := fate.Delay + 37*time.Microsecond
-		time.AfterFunc(lag, func() { ct.arrive(ch, from, to, seq, msg, attempt) })
+		ct.after(lag, func() { ct.arrive(ch, from, to, seq, msg, attempt) })
 	}
 	if fate.Delay > 0 {
 		ct.delays.Add(1)
-		time.AfterFunc(fate.Delay, func() { ct.arrive(ch, from, to, seq, msg, attempt) })
+		ct.after(fate.Delay, func() { ct.arrive(ch, from, to, seq, msg, attempt) })
 		return
 	}
 	ct.arrive(ch, from, to, seq, msg, attempt)
+}
+
+// after schedules fn on a tracked timer. closeTransport stops timers
+// that have not fired and waits (via wg) for callbacks already running,
+// so no delayed or duplicated frame can arrive after the network's node
+// goroutines have exited.
+func (ct *chaosTransport) after(d time.Duration, fn func()) {
+	ct.timerMu.Lock()
+	defer ct.timerMu.Unlock()
+	if ct.closed {
+		return
+	}
+	ct.wg.Add(1)
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		defer ct.wg.Done()
+		// Blocks until the enclosing after() releases timerMu, so t is
+		// always assigned here, even for a zero duration.
+		ct.timerMu.Lock()
+		delete(ct.timers, t)
+		dead := ct.closed
+		ct.timerMu.Unlock()
+		if dead {
+			return
+		}
+		fn()
+	})
+	ct.timers[t] = struct{}{}
 }
 
 // arrive is the receiver side of one frame: dedup against the delivery
@@ -260,6 +308,8 @@ func (ct *chaosTransport) transmit(ch *relChan, from, to int, fr *frameState) {
 // terminate), and push the in-order suffix into the mailbox, checking
 // each delivery against the crash schedule.
 func (ct *chaosTransport) arrive(ch *relChan, from, to int, seq uint64, msg message, attempt int) {
+	ch.deliverMu.Lock()
+	defer ch.deliverMu.Unlock()
 	var out []message
 	ch.mu.Lock()
 	switch {
@@ -380,6 +430,15 @@ func (ct *chaosTransport) retransmitLoop() {
 
 func (ct *chaosTransport) closeTransport() {
 	close(ct.stop)
+	ct.timerMu.Lock()
+	ct.closed = true
+	for t := range ct.timers {
+		if t.Stop() {
+			ct.wg.Done()
+		}
+	}
+	ct.timers = nil
+	ct.timerMu.Unlock()
 	ct.wg.Wait()
 }
 

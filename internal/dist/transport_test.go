@@ -88,6 +88,59 @@ func TestChaosLossDifferential(t *testing.T) {
 	}
 }
 
+// TestChaosReorderStressFIFO is the regression for the arrive() FIFO
+// race: with heavy duplication and sub-millisecond delays over a tiny
+// (clamped) RTO, retransmitted frames constantly race delayed
+// duplicates of their predecessors on the same channel. If the delivery
+// cursor advance and the mailbox push were not one atomic step, a later
+// frame could be pushed before an earlier one and the differential (or
+// a handler panic, e.g. a death notice for an unknown neighbor) would
+// catch it. The tiny RTO also pins that a sub-minimum plan RTO clamps
+// instead of panicking the retransmit ticker.
+func TestChaosReorderStressFIFO(t *testing.T) {
+	plan := &chaos.Plan{
+		Seed:     99,
+		Drop:     0.20,
+		Dup:      0.35,
+		Delay:    0.35,
+		MaxDelay: 300 * time.Microsecond,
+		RTO:      time.Nanosecond, // clamps to chaos.MinRTO
+	}
+	nw, seq := buildChaosPair(t, 32, 2024, plan)
+	defer nw.Close()
+
+	vicR := rng.New(11)
+	for window := 0; window < 2; window++ {
+		alive := seq.G.AliveNodes()
+		taken := make(map[int]bool)
+		var victims []int
+		for len(victims) < 4 {
+			v := alive[vicR.Intn(len(alive))]
+			if !taken[v] {
+				taken[v] = true
+				victims = append(victims, v)
+			}
+		}
+		for _, v := range victims {
+			nw.KillAsync(v)
+		}
+		for _, v := range victims {
+			seq.DeleteAndHeal(v, core.DASH{})
+		}
+		if err := nw.Drain(testTimeout); err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		assertStateEqual(t, window, nw, seq)
+	}
+	st, ok := nw.ChaosTransportStats()
+	if !ok {
+		t.Fatal("chaos network reports no chaos transport")
+	}
+	if st.Dups == 0 || st.Delays == 0 || st.Retransmits == 0 {
+		t.Fatalf("reorder machinery not exercised: %+v", st)
+	}
+}
+
 // TestChaosPartitionHeals pins that a burst partition (attempt-bounded
 // drop window around a node group) delays but does not corrupt a heal.
 func TestChaosPartitionHeals(t *testing.T) {
