@@ -1,0 +1,217 @@
+package main
+
+// Smoke test of the built binaries: compile dashd and dashload with the
+// race detector, boot the daemon, drive a short preset through the load
+// generator with stream verification on, then SIGTERM the daemon and
+// require a clean drain (exit 0) plus a restorable final snapshot. This
+// is the process-level test the in-package e2e tests cannot provide:
+// flag parsing, signal handling, readiness output, and exit codes.
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// buildBinary compiles a command with -race into dir.
+func buildBinary(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-race", "-o", bin, pkg)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -race %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestSmokeDaemonLoadDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and boots real binaries")
+	}
+	dir := t.TempDir()
+	dashd := buildBinary(t, dir, "dashd", "repro/cmd/dashd")
+	dashload := buildBinary(t, dir, "dashload", "repro/cmd/dashload")
+	snapPath := filepath.Join(dir, "final.snap")
+	streamPath := filepath.Join(dir, "events.jsonl")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	daemon := exec.CommandContext(ctx, dashd,
+		"-addr", "127.0.0.1:0", "-n", "3000", "-seed", "7",
+		"-final-snapshot", snapPath)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("starting dashd: %v", err)
+	}
+	defer func() { _ = daemon.Process.Kill() }() // backstop; the happy path TERMs first
+
+	// The readiness line carries the resolved port (the daemon listens on
+	// :0); everything after it is drain progress we collect for the end.
+	sc := bufio.NewScanner(stdout)
+	baseURL := ""
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "dashd: serving on "); ok {
+			baseURL = strings.Fields(rest)[0] // the line continues "(<healer> healing, queue <n>)"
+			break
+		}
+	}
+	if baseURL == "" {
+		t.Fatalf("daemon exited without a readiness line (scan err %v)", sc.Err())
+	}
+	tail := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteString("\n")
+		}
+		tail <- b.String()
+	}()
+
+	waitHealthy(t, ctx, baseURL)
+
+	load := exec.CommandContext(ctx, dashload,
+		"-addr", baseURL, "-preset", "sustained-churn", "-n", "1500",
+		"-sessions", "6", "-verify", "-stream", streamPath)
+	out, err := load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dashload: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "replay bit-identical") {
+		t.Fatalf("dashload did not report stream verification:\n%s", out)
+	}
+	t.Logf("dashload:\n%s", out)
+
+	events := readEvents(t, streamPath)
+	if len(events) == 0 {
+		t.Fatal("archived event stream is empty after a churn load")
+	}
+
+	assertMetricsAlive(t, ctx, baseURL)
+
+	// Graceful drain: SIGTERM, exit 0, a final snapshot on disk.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v (want exit 0)", err)
+	}
+	drainOut := <-tail
+	if !strings.Contains(drainOut, "drained cleanly") {
+		t.Errorf("daemon drain output missing 'drained cleanly':\n%s", drainOut)
+	}
+	if fi, err := os.Stat(snapPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("final snapshot missing or empty: %v", err)
+	}
+
+	// The snapshot must boot a fresh daemon — restore validation included.
+	reboot := exec.CommandContext(ctx, dashd, "-addr", "127.0.0.1:0", "-snapshot", snapPath)
+	rebootOut, err := reboot.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reboot.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = reboot.Process.Kill() }()
+	sc2 := bufio.NewScanner(rebootOut)
+	ready := false
+	for sc2.Scan() {
+		if strings.HasPrefix(sc2.Text(), "dashd: serving on ") {
+			ready = true
+			break
+		}
+	}
+	if !ready {
+		t.Fatalf("daemon did not come back up from its own final snapshot (scan err %v)", sc2.Err())
+	}
+	_ = reboot.Process.Signal(syscall.SIGTERM)
+	go func() { _, _ = io.Copy(io.Discard, rebootOut) }()
+	if err := reboot.Wait(); err != nil {
+		t.Fatalf("rebooted daemon exit after SIGTERM: %v (want exit 0)", err)
+	}
+}
+
+// waitHealthy polls /healthz until 200 or the deadline.
+func waitHealthy(t *testing.T, ctx context.Context, baseURL string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy at %s (last err %v)", baseURL, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// readEvents decodes the archived stream, proving the file is valid
+// trace JSONL end to end.
+func readEvents(t *testing.T, path string) []trace.Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("archived stream does not decode: %v", err)
+	}
+	return events
+}
+
+// assertMetricsAlive spot-checks /metrics: the load must have moved the
+// counters and populated the heal-latency histogram.
+func assertMetricsAlive(t *testing.T, ctx context.Context, baseURL string) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"kills":`, `"joins":`, `"heal_latency":`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s: %s", want, body)
+		}
+	}
+	if strings.Contains(string(body), `"count":0,`) {
+		// heal_latency.count is the first field of its object; zero after
+		// a thousand-op load means the histogram is not being fed.
+		t.Errorf("/metrics heal-latency histogram is empty after load: %s", body)
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro"
 	"repro/internal/attack"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/dist/chaos"
@@ -48,6 +49,12 @@ import (
 )
 
 func main() {
+	os.Exit(cli.Run("dashdist", realMain))
+}
+
+// realMain is the single exit path: usage mistakes exit 2, runtime
+// failures (including detected divergence) exit 1.
+func realMain() error {
 	var (
 		n          = flag.Int("n", 200, "number of nodes (Barabási–Albert, m=3)")
 		healName   = flag.String("heal", "DASH", "healing rule: DASH | SDASH")
@@ -67,9 +74,8 @@ func main() {
 	)
 	flag.Parse()
 	if *chaosMode {
-		runChaosMode(*n, *seed, *healName,
+		return runChaosMode(*n, *seed, *healName,
 			*chaosDrop, *chaosDup, *chaosDelay, *chaosCrash, *chaosSeed, *chaosOps)
-		return
 	}
 	if *every <= 0 {
 		// Both round loops compute round % every; never divide by zero.
@@ -78,11 +84,11 @@ func main() {
 
 	kind, seqHealer, err := pickHealer(*healName)
 	if err != nil {
-		fatal(err)
+		return cli.WrapUsage(err)
 	}
 	newAttack, err := repro.AttackByName(*attackName)
 	if err != nil {
-		fatal(err)
+		return cli.WrapUsage(err)
 	}
 
 	master := rng.New(*seed)
@@ -105,11 +111,11 @@ func main() {
 		if *verify {
 			if diverged {
 				fmt.Println("\nresult: FAILED — distributed batch run diverged from the sequential reference")
-				os.Exit(1)
+				return fmt.Errorf("distributed batch run diverged from the sequential reference")
 			}
 			fmt.Println("\nresult: distributed batch run matched the sequential reference exactly, every epoch")
 		}
-		return
+		return nil
 	}
 	divergence := false
 	for round := 1; seq.G.NumAlive() > 0; round++ {
@@ -146,23 +152,25 @@ func main() {
 	if *verify {
 		if divergence {
 			fmt.Println("\nresult: FAILED — distributed run diverged from the sequential reference")
-			os.Exit(1)
+			return fmt.Errorf("distributed run diverged from the sequential reference")
 		}
 		fmt.Println("\nresult: distributed run matched the sequential reference exactly, every round")
 	}
+	return nil
 }
 
 // runChaosMode runs the scenario chaos differential with a fault plan
-// built from the CLI flags and exits nonzero if the network fails to
-// drain or drifts from the replay of its effective-operation log.
+// built from the CLI flags; the returned error (exit 1) reports a
+// network that failed to drain or drifted from the replay of its
+// effective-operation log.
 func runChaosMode(n int, seed uint64, healName string,
-	drop, dup, delay float64, crashSpec string, chaosSeed uint64, ops int) {
+	drop, dup, delay float64, crashSpec string, chaosSeed uint64, ops int) error {
 	if healName != "DASH" {
-		fatal(fmt.Errorf("-chaos supports only -heal DASH (the recovery epoch heals crashed sets with the batch rule)"))
+		return cli.Usagef("-chaos supports only -heal DASH (the recovery epoch heals crashed sets with the batch rule)")
 	}
 	crashes, err := chaos.ParseCrashes(crashSpec)
 	if err != nil {
-		fatal(err)
+		return cli.WrapUsage(err)
 	}
 	plan := &chaos.Plan{
 		Seed:    chaosSeed,
@@ -187,9 +195,10 @@ func runChaosMode(n int, seed uint64, healName string,
 	fmt.Printf("transport: %d drops, %d dups, %d delays, %d retransmits\n", rep.Stats.Drops, rep.Stats.Dups, rep.Stats.Delays, rep.Stats.Retransmits)
 	if err != nil {
 		fmt.Printf("\nresult: FAILED — %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Println("\nresult: drained network matched the effective-op replay at every check")
+	return nil
 }
 
 // runBatchMode drives disaster rounds: the attack picks an epicenter on
@@ -242,9 +251,4 @@ func pickHealer(name string) (dist.HealerKind, core.Healer, error) {
 	default:
 		return 0, nil, fmt.Errorf("unknown distributed healer %q (want DASH or SDASH)", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dashdist:", err)
-	os.Exit(2)
 }

@@ -31,11 +31,18 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
+	os.Exit(cli.Run("figures", realMain))
+}
+
+// realMain is the single exit path: malformed sizes and unknown -fig
+// names are usage errors (exit 2).
+func realMain() error {
 	var (
 		fig     = flag.String("fig", "all", "which artifact to regenerate (fig8|fig9a|fig9b|fig10|thm1|thm2|ablation|sdash|batch|topo|oracle|churn|cut|latency|scenarios|all)")
 		sizes   = flag.String("sizes", "64,128,256,512", "comma-separated graph sizes")
@@ -49,8 +56,7 @@ func main() {
 
 	ns, err := parseSizes(*sizes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(2)
+		return cli.WrapUsage(err)
 	}
 
 	emit := func(t *stats.Table) {
@@ -129,9 +135,9 @@ func main() {
 		emit(experiments.Scenarios(ns[len(ns)-1], *trials, *seed))
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q\n", *fig)
-		os.Exit(2)
+		return cli.Usagef("unknown -fig %q", *fig)
 	}
+	return nil
 }
 
 func parseSizes(s string) ([]int, error) {

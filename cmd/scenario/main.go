@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -52,6 +53,13 @@ import (
 )
 
 func main() {
+	os.Exit(cli.Run("scenario", realMain))
+}
+
+// realMain is the whole command behind the single exit path: every
+// return flows through cli.Run, so output files are closed (and their
+// Close errors surfaced) before the process decides its exit code.
+func realMain() error {
 	var (
 		preset    = flag.String("preset", "disaster", "workload preset: "+strings.Join(scenario.PresetNames(), " | "))
 		n         = flag.Int("n", 10000, "initial network size (Barabási–Albert, m=3)")
@@ -72,25 +80,18 @@ func main() {
 	)
 	flag.Parse()
 	if *pipelined && !*diff {
-		fmt.Fprintln(os.Stderr, "scenario: -pipelined requires -differential")
-		os.Exit(1)
+		return cli.Usagef("-pipelined requires -differential")
 	}
 	if *diff {
 		mode := scenario.Lockstep
 		if *pipelined {
 			mode = scenario.Pipelined
 		}
-		if err := runDifferential(os.Stdout, *preset, *n, *healName, *victim, *seed, mode); err != nil {
-			fmt.Fprintln(os.Stderr, "scenario:", err)
-			os.Exit(1)
-		}
-		return
+		return runDifferential(os.Stdout, *preset, *n, *healName, *victim, *seed, mode)
 	}
-	if _, err := run(os.Stdout, *preset, *n, *healName, *victim, *trials, *seed,
-		*workers, *measure, *threshold, *sources, *conn, *connEvery, *out, *tracePath); err != nil {
-		fmt.Fprintln(os.Stderr, "scenario:", err)
-		os.Exit(1)
-	}
+	_, err := run(os.Stdout, *preset, *n, *healName, *victim, *trials, *seed,
+		*workers, *measure, *threshold, *sources, *conn, *connEvery, *out, *tracePath)
+	return err
 }
 
 // victimPolicy resolves the -victim flag into a per-trial policy
@@ -121,15 +122,15 @@ func victimPolicy(victim string) (func() scenario.VictimPolicy, error) {
 func runDifferential(w io.Writer, preset string, n int, healName, victim string, seed uint64, mode scenario.DiffMode) error {
 	sc, err := scenario.Preset(preset, n)
 	if err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
 	healer, err := repro.HealerByName(healName)
 	if err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
 	newVictim, err := victimPolicy(victim)
 	if err != nil {
-		return err
+		return cli.WrapUsage(err)
 	}
 	rep, err := scenario.ReplayDifferentialMode(scenario.Config{
 		NewGraph:     func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, 3, r) },
@@ -166,11 +167,11 @@ func run(w io.Writer, preset string, n int, healName, victim string, trials int,
 	out, tracePath string) (scenario.Result, error) {
 	sc, err := scenario.Preset(preset, n)
 	if err != nil {
-		return scenario.Result{}, err
+		return scenario.Result{}, cli.WrapUsage(err)
 	}
 	healer, err := repro.HealerByName(healName)
 	if err != nil {
-		return scenario.Result{}, err
+		return scenario.Result{}, cli.WrapUsage(err)
 	}
 	cfg := scenario.Config{
 		NewGraph:          func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, 3, r) },
@@ -187,7 +188,7 @@ func run(w io.Writer, preset string, n int, healName, victim string, trials int,
 	}
 	newVictim, err := victimPolicy(victim)
 	if err != nil {
-		return scenario.Result{}, err
+		return scenario.Result{}, cli.WrapUsage(err)
 	}
 	cfg.NewVictim = newVictim
 	var rec *trace.Recorder
@@ -207,16 +208,13 @@ func run(w io.Writer, preset string, n int, healName, victim string, trials int,
 	fmt.Fprintln(w, summaryTable(res).String())
 
 	if out != "" {
-		dst := w
-		if out != "-" {
-			f, err := os.Create(out)
-			if err != nil {
-				return res, err
-			}
-			defer f.Close()
-			dst = f
-		}
-		if err := writeCheckpoints(dst, res); err != nil {
+		// cli.WriteFile owns flush and close, so a full disk or a failing
+		// close surfaces as this command's error instead of a silently
+		// truncated checkpoint file.
+		err := cli.WriteFile(out, w, func(dst io.Writer) error {
+			return writeCheckpoints(dst, res)
+		})
+		if err != nil {
 			return res, err
 		}
 		if out != "-" {
@@ -224,12 +222,10 @@ func run(w io.Writer, preset string, n int, healName, victim string, trials int,
 		}
 	}
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
+		err := cli.WriteFile(tracePath, w, func(dst io.Writer) error {
+			return trace.EncodeJSONL(dst, rec.Events())
+		})
 		if err != nil {
-			return res, err
-		}
-		defer f.Close()
-		if err := trace.EncodeJSONL(f, rec.Events()); err != nil {
 			return res, err
 		}
 		fmt.Fprintf(w, "wrote %d trace events (trial 0) to %s\n", rec.Len(), tracePath)

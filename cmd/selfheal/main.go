@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -25,6 +27,12 @@ import (
 )
 
 func main() {
+	os.Exit(cli.Run("selfheal", realMain))
+}
+
+// realMain is the single exit path: strategy/family resolution mistakes
+// exit 2, experiment and output failures exit 1.
+func realMain() error {
 	var (
 		n            = flag.Int("n", 256, "initial number of nodes")
 		m            = flag.Int("m", 3, "Barabási–Albert attachment parameter")
@@ -45,20 +53,20 @@ func main() {
 	if *list {
 		fmt.Println("healers:", repro.HealerNames())
 		fmt.Println("attacks: [MaxNode MinNode NeighborOfMax Random]")
-		return
+		return nil
 	}
 
 	healer, err := repro.HealerByName(*healName)
 	if err != nil {
-		fatal(err)
+		return cli.WrapUsage(err)
 	}
 	newAttack, err := repro.AttackByName(*attackName)
 	if err != nil {
-		fatal(err)
+		return cli.WrapUsage(err)
 	}
 	newGraph, err := graphGen(*family, *n, *m)
 	if err != nil {
-		fatal(err)
+		return cli.WrapUsage(err)
 	}
 
 	res := repro.Run(repro.Config{
@@ -79,7 +87,7 @@ func main() {
 				i, t.N, t.Rounds, t.PeakMaxDelta, t.MaxIDChanges, t.MaxMessages,
 				stats.FormatFloat(t.MaxStretch), t.Surrogations, t.EdgesAdded, t.AlwaysConnected)
 		}
-		return
+		return nil
 	}
 
 	fmt.Printf("graph=%s(n=%d) attack=%s heal=%s trials=%d seed=%d\n\n",
@@ -107,13 +115,14 @@ func main() {
 
 	if *dotFile != "" {
 		if err := writeDOT(*dotFile, newGraph, healer, newAttack, *seed, *fraction); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("wrote healed topology to %s\n", *dotFile)
 	}
 	if *showTrace {
 		fmt.Println("trace:", runTraced(newGraph, healer, newAttack, *seed, *fraction))
 	}
+	return nil
 }
 
 // runTraced runs one extra trial with the event recorder attached,
@@ -169,12 +178,9 @@ func writeDOT(path string, newGraph func(*rng.RNG) *graph.Graph, healer repro.He
 		}
 		s.DeleteAndHeal(v, healer)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return graphio.DOT(f, "healed", s.G, s.Gp)
+	return cli.WriteFile(path, os.Stdout, func(w io.Writer) error {
+		return graphio.DOT(w, "healed", s.G, s.Gp)
+	})
 }
 
 // graphGen maps a family name to a per-trial generator.

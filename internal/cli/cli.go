@@ -1,0 +1,109 @@
+// Package cli is the shared exit discipline of the cmd/* binaries: one
+// error path per command, exit codes that mean the same thing
+// everywhere (2 = usage mistake, 1 = runtime failure, 0 = success), and
+// file output that is flushed and closed with both errors checked — a
+// trace file that survived the run but lost its tail to an unchecked
+// Close is worse than no file, because it looks complete.
+package cli
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Exit codes shared by every command.
+const (
+	// ExitOK means success.
+	ExitOK = 0
+	// ExitRuntime means the command was invoked correctly but failed:
+	// I/O errors, divergence detected, a daemon that would not start.
+	ExitRuntime = 1
+	// ExitUsage means the invocation itself was wrong: unknown names,
+	// contradictory flags, malformed values.
+	ExitUsage = 2
+)
+
+// usageError marks an error as the caller's usage mistake.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// Usagef builds a usage error (exit code 2).
+func Usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// WrapUsage marks an existing error as a usage mistake; nil stays nil.
+func WrapUsage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &usageError{err: err}
+}
+
+// IsUsage reports whether err is (or wraps) a usage error.
+func IsUsage(err error) bool {
+	var ue *usageError
+	return errors.As(err, &ue)
+}
+
+// Code maps an error to its exit code.
+func Code(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case IsUsage(err):
+		return ExitUsage
+	default:
+		return ExitRuntime
+	}
+}
+
+// Run executes a command body and returns its exit code, printing any
+// error to stderr as "<prog>: <err>". main functions reduce to
+// os.Exit(cli.Run("name", realMain)) — the single exit path.
+func Run(prog string, fn func() error) int {
+	err := fn()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	}
+	return Code(err)
+}
+
+// WriteFile writes output produced by fn to path, buffered, and
+// propagates every error on the way out: fn's own, the buffer flush,
+// and the file close — the trio that silently truncates output files
+// when any member goes unchecked. path "-" writes to stdout instead
+// (flushed, nothing to close).
+func WriteFile(path string, stdout io.Writer, fn func(io.Writer) error) error {
+	if path == "-" {
+		bw := bufio.NewWriter(stdout)
+		if err := fn(bw); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("writing to stdout: %w", err)
+		}
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	werr := fn(bw)
+	if err := bw.Flush(); werr == nil && err != nil {
+		werr = err
+	}
+	if err := f.Close(); werr == nil && err != nil {
+		werr = err
+	}
+	if werr != nil {
+		return fmt.Errorf("writing %s: %w", path, werr)
+	}
+	return nil
+}

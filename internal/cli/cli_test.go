@@ -1,0 +1,108 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain error", errors.New("boom"), ExitRuntime},
+		{"usage", Usagef("bad flag %d", 7), ExitUsage},
+		{"wrapped usage", fmt.Errorf("context: %w", Usagef("bad")), ExitUsage},
+		{"WrapUsage", WrapUsage(errors.New("unknown preset")), ExitUsage},
+		{"WrapUsage nil", WrapUsage(nil), ExitOK},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("%s: Code = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if !IsUsage(fmt.Errorf("a: %w", fmt.Errorf("b: %w", Usagef("deep")))) {
+		t.Error("IsUsage missed a doubly wrapped usage error")
+	}
+	if IsUsage(errors.New("plain")) {
+		t.Error("IsUsage claimed a plain error")
+	}
+}
+
+func TestRunReturnsCodes(t *testing.T) {
+	if got := Run("prog", func() error { return nil }); got != ExitOK {
+		t.Errorf("success: Run = %d", got)
+	}
+	if got := Run("prog", func() error { return errors.New("x") }); got != ExitRuntime {
+		t.Errorf("runtime: Run = %d", got)
+	}
+	if got := Run("prog", func() error { return Usagef("x") }); got != ExitUsage {
+		t.Errorf("usage: Run = %d", got)
+	}
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	err := WriteFile(path, nil, func(w io.Writer) error {
+		_, err := io.WriteString(w, "line 1\nline 2\n")
+		return err
+	})
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "line 1\nline 2\n" {
+		t.Errorf("file holds %q", b)
+	}
+}
+
+func TestWriteFilePropagatesFnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	sentinel := errors.New("producer failed")
+	err := WriteFile(path, nil, func(io.Writer) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("WriteFile = %v, want the producer's error", err)
+	}
+}
+
+func TestWriteFileCreateError(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), nil,
+		func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}
+
+// failWriter errors after the first n bytes — it stands in for a full
+// disk, which only surfaces at flush time through a buffered writer.
+type failWriter struct{ budget int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errors.New("disk full")
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWriteFileStdoutFlushError(t *testing.T) {
+	err := WriteFile("-", &failWriter{budget: 4}, func(w io.Writer) error {
+		_, _ = io.WriteString(w, strings.Repeat("x", 1<<16))
+		return nil // the buffer hides the failure until flush
+	})
+	if err == nil {
+		t.Fatal("flush error to stdout was swallowed")
+	}
+}

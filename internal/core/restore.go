@@ -1,0 +1,97 @@
+package core
+
+// Snapshot/restore: a State can be captured as plain data (graphs plus
+// the per-node healing state its decisions depend on) and rebuilt later —
+// the primitive behind the daemon's snapshot and restore endpoints.
+//
+// What round-trips exactly is everything that influences future healing:
+// G, G′, initial IDs (representative selection and tie-breaks), current
+// component labels (UN classes and MINID floods), and initial degrees
+// (δ, hence the binary-tree ordering of Algorithm 1). The analysis-only
+// bookkeeping — weights, message counts, flood-depth statistics, round
+// numbers — restarts at zero: those quantities describe a run, not a
+// network, so a restored state begins a fresh run from an old topology.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// SnapshotData returns copies of the state's restorable core: G, G′, and
+// the initID/curID/initDeg slices, all indexed by node slot. The result
+// shares nothing with the live state.
+func (s *State) SnapshotData() (g, gp *graph.Graph, initID, curID []uint64, initDeg []int) {
+	return s.G.Clone(), s.Gp.Clone(),
+		append([]uint64(nil), s.initID...),
+		append([]uint64(nil), s.curID...),
+		append([]int(nil), s.initDeg...)
+}
+
+// Restore rebuilds a State from snapshot data, taking ownership of g and
+// gp. It validates the healing invariants the snapshot must satisfy —
+// matching alive sets, G′ ⊆ G and a forest, unique initial IDs, labels
+// that only ever dropped, and one uniform label per G′ component — so a
+// corrupt or adversarial snapshot is an error here, never a wrong heal
+// three rounds later.
+func Restore(g, gp *graph.Graph, initID, curID []uint64, initDeg []int) (*State, error) {
+	n := g.N()
+	if gp.N() != n {
+		return nil, fmt.Errorf("core: restore: G has %d slots, G′ %d", n, gp.N())
+	}
+	if len(initID) != n || len(curID) != n || len(initDeg) != n {
+		return nil, fmt.Errorf("core: restore: per-node slices sized %d/%d/%d, want %d",
+			len(initID), len(curID), len(initDeg), n)
+	}
+	if !gp.IsSubgraphOf(g) {
+		return nil, fmt.Errorf("core: restore: G′ is not a subgraph of G")
+	}
+	if !gp.IsForest() {
+		return nil, fmt.Errorf("core: restore: G′ contains a cycle")
+	}
+	s := &State{
+		G: g, Gp: gp,
+		initID:       append([]uint64(nil), initID...),
+		curID:        append([]uint64(nil), curID...),
+		initDeg:      append([]int(nil), initDeg...),
+		weight:       make([]int64, n),
+		idChanges:    make([]int, n),
+		msgSent:      make([]int64, n),
+		msgRecv:      make([]int64, n),
+		usedIDs:      make(map[uint64]struct{}, n),
+		initialAlive: g.NumAlive(),
+	}
+	for v := 0; v < n; v++ {
+		if g.Alive(v) != gp.Alive(v) {
+			return nil, fmt.Errorf("core: restore: node %d alive in one graph only", v)
+		}
+		if !g.Alive(v) {
+			continue
+		}
+		if curID[v] > initID[v] {
+			return nil, fmt.Errorf("core: restore: node %d label %d above its initial ID %d",
+				v, curID[v], initID[v])
+		}
+		if _, dup := s.usedIDs[initID[v]]; dup {
+			return nil, fmt.Errorf("core: restore: duplicate initial ID %d at node %d", initID[v], v)
+		}
+		s.usedIDs[initID[v]] = struct{}{}
+		s.weight[v] = 1
+	}
+	// Labels are component properties: every state reachable by the
+	// healing operations has one label per G′ component (PropagateMinID
+	// runs to completion inside each operation), so a snapshot violating
+	// that was not taken at an operation boundary — reject it.
+	comp := gp.ComponentLabels()
+	label := make(map[int]uint64)
+	for _, v := range gp.AliveNodes() {
+		c := comp[v]
+		if want, seen := label[c]; !seen {
+			label[c] = curID[v]
+		} else if curID[v] != want {
+			return nil, fmt.Errorf("core: restore: node %d carries label %d, its G′ component carries %d",
+				v, curID[v], want)
+		}
+	}
+	return s, nil
+}

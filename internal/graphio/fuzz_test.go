@@ -14,6 +14,11 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("n 2\n\n\n0 1")
 	f.Add("garbage")
 	f.Add("n 3\ndead 0\ndead 1\ndead 2\n")
+	f.Add("n 3\n0 1\n0 1\n")       // duplicate edge: must error, not silently dedup
+	f.Add("n 3\n0 1\ndead 0\n")    // dead after its edges: must error, not drop them
+	f.Add("n 3\ndead 1\n0 1\n")    // edge to a declared-dead node
+	f.Add("n 2\ndead 0\ndead 0\n") // duplicate dead declaration
+	f.Add("n 2\n1 1\n")            // self edge
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadEdgeList(strings.NewReader(input))
 		if err != nil {
@@ -29,6 +34,45 @@ func FuzzReadEdgeList(f *testing.F) {
 		}
 		if !g.Equal(back) {
 			t.Fatalf("round-trip changed the graph\ninput: %q", input)
+		}
+	})
+}
+
+// FuzzReadSnapshot asserts the snapshot parser never panics on
+// adversarial input (it is the daemon's restore trust boundary) and that
+// anything it accepts round-trips bit-identically through WriteSnapshot.
+func FuzzReadSnapshot(f *testing.F) {
+	f.Add("dashsnap 1\nn 3\nnode 0 10 10 1\nnode 1 20 20 1\nnode 2 30 5 0\ng 0 1\ngp 0 1\n")
+	f.Add("dashsnap 1\nn 2\ndead 1\nnode 0 7 7 0\n")
+	f.Add("dashsnap 1\nn 0\n")
+	f.Add("dashsnap 1\nn 4\nnode 0 1 1 0\nnode 1 2 2 0\nnode 2 3 3 0\nnode 3 4 4 0\ng 0 1\ng 2 3\ngp 2 3\n")
+	f.Add("dashsnap 1\nn 1000000000000\n")
+	f.Add("dashsnap 1\nn 2\nnode 0 5 5 0\nnode 1 5 5 0\n")
+	f.Add("dashsnap 1\nn 1\nnode 0 5 9 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadSnapshot(strings.NewReader(input), 1<<16)
+		if err != nil {
+			return // rejected inputs are fine; panics and corruption are not
+		}
+		var b strings.Builder
+		if err := WriteSnapshot(&b, s); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadSnapshot(strings.NewReader(b.String()), 0)
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v\noriginal: %q\nwritten: %q", err, input, b.String())
+		}
+		if !s.G.Equal(back.G) || !s.Gp.Equal(back.Gp) {
+			t.Fatalf("round trip changed a graph\ninput: %q", input)
+		}
+		for v := 0; v < s.G.N(); v++ {
+			if !s.G.Alive(v) {
+				continue
+			}
+			if s.InitID[v] != back.InitID[v] || s.CurID[v] != back.CurID[v] || s.InitDeg[v] != back.InitDeg[v] {
+				t.Fatalf("round trip changed node %d state\ninput: %q", v, input)
+			}
 		}
 	})
 }

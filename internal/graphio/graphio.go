@@ -70,13 +70,18 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the format written by WriteEdgeList.
+// ReadEdgeList parses the format written by WriteEdgeList. The input is
+// treated as untrusted: every structural inconsistency — out-of-range or
+// self or duplicate edges, edges incident to a node declared dead,
+// duplicate dead declarations — is a line-numbered error rather than a
+// panic or a silent normalization, because a daemon restore endpoint must
+// be able to feed this parser adversarial bytes and stay up.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	var g *graph.Graph
 	line := 0
-	var deferredDead []int
+	var dead map[int]bool
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -90,28 +95,47 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 				return nil, fmt.Errorf("graphio: line %d: duplicate header", line)
 			}
 			var n int
-			if _, err := fmt.Sscanf(text, "n %d", &n); err != nil || n < 0 {
+			if _, err := fmt.Sscanf(text, "n %d", &n); err != nil || n < 0 || len(fields) != 2 {
 				return nil, fmt.Errorf("graphio: line %d: bad header %q", line, text)
 			}
 			g = graph.New(n)
+			dead = make(map[int]bool)
 		case fields[0] == "dead":
+			if g == nil {
+				return nil, fmt.Errorf("graphio: line %d: dead before header", line)
+			}
 			var v int
-			if _, err := fmt.Sscanf(text, "dead %d", &v); err != nil {
+			if _, err := fmt.Sscanf(text, "dead %d", &v); err != nil || len(fields) != 2 {
 				return nil, fmt.Errorf("graphio: line %d: bad dead line %q", line, text)
 			}
-			deferredDead = append(deferredDead, v)
+			if v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("graphio: line %d: dead node %d out of range [0,%d)", line, v, g.N())
+			}
+			if dead[v] {
+				return nil, fmt.Errorf("graphio: line %d: duplicate dead %d", line, v)
+			}
+			if g.Degree(v) > 0 {
+				return nil, fmt.Errorf("graphio: line %d: dead node %d has earlier edges", line, v)
+			}
+			dead[v] = true
+			g.RemoveNode(v)
 		default:
 			if g == nil {
 				return nil, fmt.Errorf("graphio: line %d: edge before header", line)
 			}
 			var u, v int
-			if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+			if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil || len(fields) != 2 {
 				return nil, fmt.Errorf("graphio: line %d: bad edge %q", line, text)
 			}
 			if u < 0 || v < 0 || u >= g.N() || v >= g.N() || u == v {
 				return nil, fmt.Errorf("graphio: line %d: edge %d-%d out of range", line, u, v)
 			}
-			g.AddEdge(u, v)
+			if dead[u] || dead[v] {
+				return nil, fmt.Errorf("graphio: line %d: edge %d-%d touches a dead node", line, u, v)
+			}
+			if !g.AddEdge(u, v) {
+				return nil, fmt.Errorf("graphio: line %d: duplicate edge %d-%d", line, u, v)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -119,14 +143,6 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	}
 	if g == nil {
 		return nil, fmt.Errorf("graphio: missing header")
-	}
-	for _, v := range deferredDead {
-		if v < 0 || v >= g.N() {
-			return nil, fmt.Errorf("graphio: dead node %d out of range", v)
-		}
-		if g.Alive(v) {
-			g.RemoveNode(v)
-		}
 	}
 	return g, nil
 }

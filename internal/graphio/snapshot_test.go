@@ -1,0 +1,124 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// buildSnapshot assembles a small consistent snapshot by hand: a 5-node
+// path with node 2 dead and one healing edge bridging the gap.
+func buildSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4)
+	g.AddEdge(1, 3) // healing edge across the dead node
+	g.RemoveNode(2)
+	gp := graph.New(5)
+	gp.RemoveNode(2)
+	gp.AddEdge(1, 3)
+	return &Snapshot{
+		G: g, Gp: gp,
+		InitID:  []uint64{50, 41, 0, 33, 27},
+		CurID:   []uint64{50, 12, 0, 12, 27}, // 1 and 3 share a merged label
+		InitDeg: []int{1, 2, 0, 2, 1},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := buildSnapshot(t)
+	var b strings.Builder
+	if err := WriteSnapshot(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(strings.NewReader(b.String()), 0)
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, b.String())
+	}
+	if !back.G.Equal(s.G) || !back.Gp.Equal(s.Gp) {
+		t.Fatal("graphs changed across the round trip")
+	}
+	for v := 0; v < 5; v++ {
+		if !s.G.Alive(v) {
+			continue
+		}
+		if back.InitID[v] != s.InitID[v] || back.CurID[v] != s.CurID[v] || back.InitDeg[v] != s.InitDeg[v] {
+			t.Fatalf("node %d state changed: %d/%d/%d vs %d/%d/%d", v,
+				back.InitID[v], back.CurID[v], back.InitDeg[v],
+				s.InitID[v], s.CurID[v], s.InitDeg[v])
+		}
+	}
+}
+
+func TestReadSnapshotRejectsMalformed(t *testing.T) {
+	// A valid prefix the cases below corrupt.
+	valid := "dashsnap 1\nn 3\nnode 0 10 10 1\nnode 1 20 20 1\nnode 2 30 30 0\ng 0 1\n"
+	if _, err := ReadSnapshot(strings.NewReader(valid), 0); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	cases := map[string]string{
+		"missing magic":        "n 3\nnode 0 10 10 0\n",
+		"wrong version":        "dashsnap 9\nn 1\nnode 0 1 1 0\n",
+		"negative n":           "dashsnap 1\nn -1\n",
+		"bad n":                "dashsnap 1\nn x\n",
+		"node out of range":    valid + "g 1 7\n",
+		"negative node":        "dashsnap 1\nn 3\nnode -1 5 5 0\n",
+		"self edge":            valid + "g 2 2\n",
+		"duplicate g edge":     valid + "g 1 0\n",
+		"gp not in g":          valid + "gp 1 2\n",
+		"duplicate gp":         valid + "gp 0 1\ngp 0 1\n",
+		"dup dead":             "dashsnap 1\nn 2\ndead 0\ndead 0\nnode 1 5 5 0\n",
+		"dead out of range":    "dashsnap 1\nn 2\ndead 5\n",
+		"edge to dead":         "dashsnap 1\nn 3\ndead 2\nnode 0 1 1 0\nnode 1 2 2 0\ng 0 2\n",
+		"node record for dead": "dashsnap 1\nn 2\ndead 0\nnode 0 5 5 0\nnode 1 6 6 0\n",
+		"dup node record":      "dashsnap 1\nn 1\nnode 0 5 5 0\nnode 0 5 5 0\n",
+		"missing node record":  "dashsnap 1\nn 2\nnode 0 5 5 0\n",
+		"label above init":     "dashsnap 1\nn 1\nnode 0 5 9 0\n",
+		"reused init id":       "dashsnap 1\nn 2\nnode 0 5 5 0\nnode 1 5 5 0\n",
+		"negative degree":      "dashsnap 1\nn 1\nnode 0 5 5 -2\n",
+		"section order":        "dashsnap 1\nn 2\nnode 0 5 5 0\nnode 1 6 6 0\ng 0 1\ndead 1\n",
+		"unknown record":       valid + "zap 1 2\n",
+		"truncated node":       "dashsnap 1\nn 1\nnode 0 5\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadSnapshot(strings.NewReader(input), 0); err == nil {
+			t.Errorf("%s: accepted malformed snapshot", name)
+		} else if !strings.Contains(err.Error(), "graphio:") {
+			t.Errorf("%s: error %v lacks package prefix", name, err)
+		}
+	}
+}
+
+func TestReadSnapshotNodeCap(t *testing.T) {
+	huge := "dashsnap 1\nn 1000000000000\n"
+	if _, err := ReadSnapshot(strings.NewReader(huge), 1<<20); err == nil {
+		t.Fatal("allocation-bomb header accepted despite cap")
+	}
+	small := "dashsnap 1\nn 2\nnode 0 1 1 0\nnode 1 2 2 0\n"
+	if _, err := ReadSnapshot(strings.NewReader(small), 2); err != nil {
+		t.Fatalf("snapshot at exactly the cap rejected: %v", err)
+	}
+	if _, err := ReadSnapshot(strings.NewReader(small), 1); err == nil {
+		t.Fatal("snapshot above the cap accepted")
+	}
+}
+
+func TestWriteSnapshotRejectsInconsistent(t *testing.T) {
+	s := buildSnapshot(t)
+	s.CurID[1] = s.InitID[1] + 1 // label above initial ID
+	if err := WriteSnapshot(&strings.Builder{}, s); err == nil {
+		t.Fatal("inconsistent snapshot written without error")
+	}
+	s = buildSnapshot(t)
+	s.InitID = s.InitID[:3] // wrong slice shape
+	if err := WriteSnapshot(&strings.Builder{}, s); err == nil {
+		t.Fatal("short slice snapshot written without error")
+	}
+	s = buildSnapshot(t)
+	s.Gp.AddEdge(0, 4) // G′ edge missing from G
+	if err := WriteSnapshot(&strings.Builder{}, s); err == nil {
+		t.Fatal("G′⊄G snapshot written without error")
+	}
+}

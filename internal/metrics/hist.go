@@ -1,0 +1,110 @@
+package metrics
+
+// Latency histogram: the daemon records a heal latency per served request
+// from inside its single-writer apply loop while /metrics handlers read
+// concurrently, so the histogram is lock-free — power-of-two microsecond
+// buckets held in atomics. Quantiles come from the bucket upper bounds,
+// which makes them conservative (never under-reported) with at most 2×
+// resolution error per bucket — the right trade for a service histogram
+// that must cost nanoseconds to update.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count: bucket i counts observations with
+// microsecond magnitude 2^(i-1)..2^i (bucket 0 is <1µs), so the top
+// bucket starts at 2^30 µs ≈ 18 minutes — far past any heal latency.
+const histBuckets = 32
+
+// Histogram is a fixed-shape, concurrency-safe latency histogram. The
+// zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumUS  atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index: the bit length of the
+// microsecond count, clamped to the top bucket.
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := 0
+	for us > 0 {
+		us >>= 1
+		b++
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the inclusive upper bound of bucket b.
+func bucketUpper(b int) time.Duration {
+	return time.Duration(uint64(1)<<uint(b)-1) * time.Microsecond
+}
+
+// Observe records one latency. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(uint64(d / time.Microsecond))
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram: each field is
+// read atomically, so totals may disagree by in-flight observations but
+// never by torn reads.
+type HistSnapshot struct {
+	Counts []uint64 `json:"counts"` // per-bucket counts, bucket i spans (2^(i-1), 2^i] µs
+	Count  uint64   `json:"count"`
+	SumUS  uint64   `json:"sum_us"`
+}
+
+// Snapshot copies the histogram's current counters.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Counts: make([]uint64, histBuckets)}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumUS = h.sumUS.Load()
+	return s
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
+// observed latencies: the upper edge of the bucket holding the q-th
+// observation. Zero when nothing was observed.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based; q=1 is the max.
+	rank := uint64(q*float64(s.Count-1)) + 1
+	var cum uint64
+	for b, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Mean returns the exact mean latency (sums are tracked in microseconds).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumUS/s.Count) * time.Microsecond
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0}, // sub-µs truncates to bucket 0
+		{time.Microsecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{time.Millisecond, 10},       // 1000µs: bit length 10
+		{time.Second, 20},            // 1e6µs: bit length 20
+		{time.Hour, histBuckets - 1}, // clamped to the top bucket
+		{-time.Second, 0},            // negative clamps to zero
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.d)
+		s := h.Snapshot()
+		got := -1
+		for b, n := range s.Counts {
+			if n == 1 {
+				got = b
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%v) landed in bucket %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v", got)
+	}
+	// 90 fast observations, 10 slow ones: p50 must bound the fast
+	// latency, p99 the slow one, and both are upper bounds.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 100*time.Microsecond || p50 >= 50*time.Millisecond {
+		t.Errorf("p50 = %v, want a bound on ~100µs below the slow tail", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 50*time.Millisecond {
+		t.Errorf("p99 = %v, want ≥ the 50ms tail", p99)
+	}
+	if p0 := s.Quantile(0); p0 < 100*time.Microsecond || p0 >= 50*time.Millisecond {
+		t.Errorf("p0 = %v, want the fast bucket's bound", p0)
+	}
+	if mean := s.Mean(); mean < 100*time.Microsecond || mean > 50*time.Millisecond {
+		t.Errorf("mean = %v outside the observation range", mean)
+	}
+	if s.Count != 100 {
+		t.Errorf("count = %d, want 100", s.Count)
+	}
+}
+
+// The histogram is written from the apply loop and read from handler
+// goroutines; hammer both sides under -race.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i+w) * time.Microsecond)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := h.Snapshot()
+				_ = s.Quantile(0.95)
+				_ = s.Mean()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 4000 {
+		t.Fatalf("lost observations: count = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,306 @@
+package server
+
+// Client is the Go-side counterpart of the daemon's HTTP API, shared by
+// cmd/dashload and the e2e tests. It speaks the backpressure protocol:
+// a 429 is not a failure but an instruction to wait — the client honors
+// Retry-After (capped, so a load generator keeps probing) and retries
+// until its context expires, counting every pushback it absorbed.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graphio"
+	"repro/internal/trace"
+)
+
+// DefaultRetryWaitCap bounds how long a client sleeps on one 429 even
+// when the server suggests more.
+const DefaultRetryWaitCap = 250 * time.Millisecond
+
+// Client talks to one daemon. The zero value is not usable; set BaseURL.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7117".
+	BaseURL string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// RetryWaitCap caps the per-429 sleep; 0 means DefaultRetryWaitCap.
+	RetryWaitCap time.Duration
+
+	// retried429 counts requests that hit backpressure at least once.
+	retried429 atomic.Int64
+}
+
+// Retried429 reports how many requests absorbed at least one 429.
+func (c *Client) Retried429() int64 { return c.retried429.Load() }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx daemon response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// IsOverload reports whether err is the daemon's backpressure response —
+// what a caller sees only when its context expired before the queue
+// opened up.
+func IsOverload(err error) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+// post sends a JSON request and decodes a JSON response into out,
+// retrying on 429 until ctx expires.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("server: encoding request: %w", err)
+	}
+	waitCap := c.RetryWaitCap
+	if waitCap <= 0 {
+		waitCap = DefaultRetryWaitCap
+	}
+	first := true
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return decodeResponse(resp, out)
+		}
+		// Backpressure: honor Retry-After up to the cap, then try again.
+		if first {
+			c.retried429.Add(1)
+			first = false
+		}
+		wait := waitCap
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			if d := time.Duration(ra) * time.Second; d < wait {
+				wait = d
+			}
+		}
+		drainBody(resp)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return &apiError{Status: http.StatusTooManyRequests, Msg: "queue full until deadline"}
+		}
+	}
+}
+
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+	_ = resp.Body.Close()
+}
+
+// decodeResponse maps a terminal response to out or an *apiError.
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		drainBody(resp)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Join adds a node; empty attach means attachCount random targets.
+func (c *Client) Join(ctx context.Context, attach []int, attachCount int) (JoinResult, error) {
+	var res JoinResult
+	err := c.post(ctx, "/v1/join", joinRequest{Attach: attach, AttachCount: attachCount}, &res)
+	return res, err
+}
+
+// Kill removes a node; node < 0 asks the daemon for a random victim.
+func (c *Client) Kill(ctx context.Context, node int) (KillResult, error) {
+	var req killRequest
+	if node >= 0 {
+		req.Node = &node
+	}
+	var res KillResult
+	err := c.post(ctx, "/v1/kill", req, &res)
+	return res, err
+}
+
+// Leave removes the named node as a voluntary departure.
+func (c *Client) Leave(ctx context.Context, node int) (KillResult, error) {
+	var res KillResult
+	err := c.post(ctx, "/v1/leave", killRequest{Node: &node}, &res)
+	return res, err
+}
+
+// BatchKill removes nodes simultaneously; with no explicit nodes, a BFS
+// ball of the given size dies around center (center < 0: random).
+func (c *Client) BatchKill(ctx context.Context, nodes []int, size, center int) (BatchKillResult, error) {
+	req := batchKillRequest{Nodes: nodes, Size: size}
+	if center >= 0 {
+		req.Center = &center
+	}
+	var res BatchKillResult
+	err := c.post(ctx, "/v1/batchkill", req, &res)
+	return res, err
+}
+
+// Stats fetches /metrics.
+func (c *Client) Stats(ctx context.Context, stretch, quiesce bool) (Stats, error) {
+	q := ""
+	if stretch {
+		q = "?stretch=1"
+	}
+	if quiesce {
+		if q == "" {
+			q = "?quiesce=1"
+		} else {
+			q += "&quiesce=1"
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics"+q, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	return st, decodeResponse(resp, &st)
+}
+
+// Healthz probes /healthz, returning nil only on a 200.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, nil)
+}
+
+// Snapshot fetches a full-state snapshot plus the log index and
+// generation it is consistent with.
+func (c *Client) Snapshot(ctx context.Context, which string) (snap *graphio.Snapshot, events, gen int, err error) {
+	url := c.BaseURL + "/v1/snapshot"
+	if which != "" {
+		url += "?which=" + which
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return nil, 0, 0, &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	events, err = strconv.Atoi(resp.Header.Get("X-Dashd-Events"))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("server: bad X-Dashd-Events header %q", resp.Header.Get("X-Dashd-Events"))
+	}
+	gen, err = strconv.Atoi(resp.Header.Get("X-Dashd-Gen"))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("server: bad X-Dashd-Gen header %q", resp.Header.Get("X-Dashd-Gen"))
+	}
+	snap, err = graphio.ReadSnapshot(resp.Body, 0)
+	return snap, events, gen, err
+}
+
+// Restore uploads a snapshot as the daemon's new state.
+func (c *Client) Restore(ctx context.Context, snap *graphio.Snapshot) error {
+	var buf bytes.Buffer
+	if err := graphio.WriteSnapshot(&buf, snap); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/restore", &buf)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, nil)
+}
+
+// StreamEvents subscribes to the daemon's event stream from the given
+// index and calls fn per event until the stream ends (daemon drain or
+// restore: nil), fn errors (that error), or ctx expires (ctx error).
+func (c *Client) StreamEvents(ctx context.Context, from int, fn func(trace.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/stream?from=%d", c.BaseURL, from), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	dec := trace.NewDecoder(resp.Body)
+	for {
+		e, err := dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package server
+
+// HTTP surface of the daemon. Handlers are thin: decode, call the
+// serialized Server method, encode. Every error body is one JSON object
+// {"error": "..."} so clients never parse prose; backpressure is the
+// single place that emits 429, always with a Retry-After estimated from
+// the measured mean heal latency and the queue bound.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/graphio"
+)
+
+// maxBodyBytes bounds mutation request bodies; restore bodies are
+// instead bounded by maxRestoreBytes (snapshots are legitimately large).
+const maxBodyBytes = 1 << 20
+
+// maxRestoreBytes bounds restore bodies: generous enough for a
+// multi-million-node snapshot, finite enough to stop a zip-bomb upload.
+const maxRestoreBytes = 1 << 31
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/join", s.handleJoin)
+	mux.HandleFunc("POST /v1/kill", s.handleKill)
+	mux.HandleFunc("POST /v1/leave", s.handleLeave)
+	mux.HandleFunc("POST /v1/batchkill", s.handleBatchKill)
+	mux.HandleFunc("GET /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON encodes v with a status; encode errors past the header are
+// unreportable and dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps a Server error to its HTTP shape. Queue-full is the
+// backpressure path: 429 plus a Retry-After long enough for the queue to
+// plausibly drain at the measured service rate.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	var oe *opError
+	switch {
+	case errors.As(err, &oe):
+		writeJSON(w, oe.status, errorBody{Error: oe.msg})
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// retryAfterSeconds estimates how long a full queue needs to drain:
+// queue depth × mean observed heal latency, clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	mean := s.healLat.Snapshot().Mean()
+	if mean <= 0 {
+		mean = time.Millisecond
+	}
+	sec := int((mean*time.Duration(cap(s.ops)) + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// decodeBody strictly decodes a bounded JSON body into v. An empty body
+// is allowed and leaves v zero (every mutation has a sensible default).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return true // empty body: all fields default
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+type joinRequest struct {
+	Attach      []int `json:"attach"`
+	AttachCount int   `json:"attach_count"`
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Attach) == 0 && req.AttachCount == 0 {
+		req.AttachCount = 1
+	}
+	res, err := s.Join(r.Context(), req.Attach, req.AttachCount)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type killRequest struct {
+	Node *int `json:"node"`
+}
+
+func (s *Server) handleKill(w http.ResponseWriter, r *http.Request) {
+	var req killRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	node := -1 // absent node means: pick a uniform random victim
+	if req.Node != nil {
+		if *req.Node < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "node must be non-negative"})
+			return
+		}
+		node = *req.Node
+	}
+	res, err := s.Kill(r.Context(), node)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleLeave is a voluntary departure: the named node leaves and the
+// overlay heals around it. Unlike /v1/kill it never picks a random
+// victim — a leave is always initiated by a specific node.
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req killRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Node == nil || *req.Node < 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "leave requires a non-negative node"})
+		return
+	}
+	res, err := s.Kill(r.Context(), *req.Node)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type batchKillRequest struct {
+	Nodes  []int `json:"nodes"`
+	Size   int   `json:"size"`
+	Center *int  `json:"center"`
+}
+
+func (s *Server) handleBatchKill(w http.ResponseWriter, r *http.Request) {
+	var req batchKillRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	center := -1
+	if req.Center != nil {
+		if *req.Center < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "center must be non-negative"})
+			return
+		}
+		center = *req.Center
+	}
+	res, err := s.BatchKill(r.Context(), req.Nodes, req.Size, center)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "from must be a non-negative integer"})
+			return
+		}
+		from = v
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.Header().Set("X-Dashd-Gen", strconv.Itoa(s.generation()))
+	w.WriteHeader(http.StatusOK)
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	flush() // commit headers before blocking on the live tail
+	_, _ = s.StreamEvents(r.Context(), w, flush, from)
+}
+
+// generation reads the current log generation.
+func (s *Server) generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Snapshot(r.Context(), r.URL.Query().Get("which"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Dashd-Events", strconv.Itoa(res.Events))
+	w.Header().Set("X-Dashd-Gen", strconv.Itoa(res.Gen))
+	w.WriteHeader(http.StatusOK)
+	_ = graphio.WriteSnapshot(w, res.Snap)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	snap, err := graphio.ReadSnapshot(http.MaxBytesReader(w, r.Body, maxRestoreBytes), s.cfg.MaxRestoreNodes)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		return
+	}
+	if err := s.Restore(r.Context(), snap); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"nodes": snap.G.N(),
+		"alive": snap.G.NumAlive(),
+		"gen":   s.generation(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	st, err := s.Stats(r.Context(), q.Get("quiesce") == "1")
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if q.Get("stretch") == "1" {
+		sample, err := s.MeasureStretch(r.Context())
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		st.Stretch = &sample
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.gate.RLock()
+	draining := s.draining
+	s.gate.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"alive":  s.aliveN.Load(),
+	})
+}

@@ -8,6 +8,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -45,22 +46,35 @@ func EncodeJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// DecodeJSONL parses a stream written by EncodeJSONL. Blank lines are
-// skipped; anything else malformed is an error naming the line.
-func DecodeJSONL(r io.Reader) ([]Event, error) {
-	var out []Event
+// A Decoder incrementally decodes a JSONL event stream — the form a
+// live HTTP subscriber needs, where events must be consumed as lines
+// arrive rather than after EOF.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewDecoder wraps r in an incremental JSONL event decoder.
+func NewDecoder(r io.Reader) *Decoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
+	return &Decoder{sc: sc}
+}
+
+// Next returns the next event, or io.EOF at end of stream. Blank and
+// whitespace-only lines are skipped, and a trailing \r (CRLF transport:
+// curl pipelines, Windows editors) is tolerated; anything else malformed
+// is an error naming the line.
+func (d *Decoder) Next() (Event, error) {
+	for d.sc.Scan() {
+		d.line++
+		raw := bytes.TrimSpace(d.sc.Bytes())
 		if len(raw) == 0 {
 			continue
 		}
 		var je jsonEvent
 		if err := json.Unmarshal(raw, &je); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return Event{}, fmt.Errorf("trace: line %d: %w", d.line, err)
 		}
 		e := Event{Node: je.Node, U: je.U, V: je.V,
 			NewInG: je.NewInG, InGp: je.InGp, Attach: je.Attach}
@@ -73,18 +87,35 @@ func DecodeJSONL(r io.Reader) ([]Event, error) {
 			e.Kind = KindAdopt
 			id, err := strconv.ParseUint(je.ID, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad adopt id %q", line, je.ID)
+				return Event{}, fmt.Errorf("trace: line %d: bad adopt id %q", d.line, je.ID)
 			}
 			e.ID = id
 		case KindJoin.String():
 			e.Kind = KindJoin
 		default:
-			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, je.Kind)
+			return Event{}, fmt.Errorf("trace: line %d: unknown kind %q", d.line, je.Kind)
+		}
+		return e, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Event{}, fmt.Errorf("trace: reading stream: %w", err)
+	}
+	return Event{}, io.EOF
+}
+
+// DecodeJSONL parses a complete stream written by EncodeJSONL, with the
+// same line handling as Decoder.Next.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	d := NewDecoder(r)
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: reading stream: %w", err)
-	}
-	return out, nil
 }

@@ -191,3 +191,31 @@ func TestDecodeJSONLErrors(t *testing.T) {
 		t.Fatalf("blank-line stream: %v %v", ev, err)
 	}
 }
+
+// Whitespace-only lines and CRLF line endings are transport noise, not
+// corruption: hand-piped and curl'd streams must decode cleanly.
+func TestDecodeJSONLWhitespaceTolerance(t *testing.T) {
+	cases := map[string]string{
+		"crlf":            "{\"kind\":\"remove\",\"node\":3}\r\n{\"kind\":\"join\",\"node\":9,\"attach\":[3]}\r\n",
+		"spaces-only":     "   \n{\"kind\":\"remove\",\"node\":3}\n\t \n{\"kind\":\"join\",\"node\":9,\"attach\":[3]}\n",
+		"tab-indented":    "\t{\"kind\":\"remove\",\"node\":3}\n {\"kind\":\"join\",\"node\":9,\"attach\":[3]}\n",
+		"trailing-spaces": "{\"kind\":\"remove\",\"node\":3}  \r\n{\"kind\":\"join\",\"node\":9,\"attach\":[3]}   \n",
+	}
+	for name, input := range cases {
+		ev, err := DecodeJSONL(strings.NewReader(input))
+		if err != nil {
+			t.Errorf("%s: DecodeJSONL failed: %v", name, err)
+			continue
+		}
+		if len(ev) != 2 || ev[0].Kind != KindRemove || ev[0].Node != 3 ||
+			ev[1].Kind != KindJoin || ev[1].Node != 9 {
+			t.Errorf("%s: decoded %v", name, ev)
+		}
+	}
+	// An error on a later line still reports the physical line number,
+	// counting the skipped whitespace-only lines.
+	_, err := DecodeJSONL(strings.NewReader("\r\n \n{\"kind\":\"warp\"}\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a line-3 error, got %v", err)
+	}
+}
