@@ -37,7 +37,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -77,10 +80,16 @@ func realMain() error {
 		tracePath = flag.String("trace", "", "write trial 0's mutation trace as JSONL to this file")
 		diff      = flag.Bool("differential", false, "replay trial 0 through the sequential AND distributed engines in lockstep, verifying exact equality per event (DASH/SDASH only; keep n moderate)")
 		pipelined = flag.Bool("pipelined", false, "with -differential: issue mutations asynchronously in windows so heal epochs overlap, checking equality at window flushes")
+		shards    = flag.Int("shards", 0, "run trials on the sharded commit path with this many graph shards (rounded up to a power of two; DASH/SDASH + Uniform victims only, implies -connectivity=false)")
+		commitW   = flag.Int("commit-workers", 0, "with -shards: concurrent commit workers within each trial (0 = all CPUs)")
+		benchOut  = flag.String("bench-out", "", "write a machine-readable benchmark record (wall clock, heals/sec, latency percentiles) as JSON to this file")
 	)
 	flag.Parse()
 	if *pipelined && !*diff {
 		return cli.Usagef("-pipelined requires -differential")
+	}
+	if *shards > 0 && *diff {
+		return cli.Usagef("-shards is incompatible with -differential (the replay harness assumes the sequential engine)")
 	}
 	if *diff {
 		mode := scenario.Lockstep
@@ -89,8 +98,21 @@ func realMain() error {
 		}
 		return runDifferential(os.Stdout, *preset, *n, *healName, *victim, *seed, mode)
 	}
-	_, err := run(os.Stdout, *preset, *n, *healName, *victim, *trials, *seed,
-		*workers, *measure, *threshold, *sources, *conn, *connEvery, *out, *tracePath)
+	connSet := false
+	flag.Visit(func(f *flag.Flag) { connSet = connSet || f.Name == "connectivity" })
+	if *shards > 0 && !connSet {
+		// Connectivity tracking defaults on, but it observes every event
+		// and the concurrent commit path can't host it; an explicit
+		// -connectivity=true still reaches scenario.Run's validation.
+		*conn = false
+	}
+	_, err := run(os.Stdout, runOpts{
+		preset: *preset, n: *n, heal: *healName, victim: *victim,
+		trials: *trials, seed: *seed, workers: *workers, measure: *measure,
+		threshold: *threshold, sources: *sources, conn: *conn, connEvery: *connEvery,
+		out: *out, tracePath: *tracePath,
+		shards: *shards, commitWorkers: *commitW, benchOut: *benchOut,
+	})
 	return err
 }
 
@@ -162,75 +184,191 @@ func victimName(victim string) string {
 	return victim
 }
 
-func run(w io.Writer, preset string, n int, healName, victim string, trials int,
-	seed uint64, workers, measure, threshold, sources int, conn bool, connEvery int,
-	out, tracePath string) (scenario.Result, error) {
-	sc, err := scenario.Preset(preset, n)
+// runOpts carries the sweep path's resolved flags.
+type runOpts struct {
+	preset, heal, victim string
+	n, trials            int
+	seed                 uint64
+	workers, measure     int
+	threshold, sources   int
+	conn                 bool
+	connEvery            int
+	out, tracePath       string
+
+	shards, commitWorkers int
+	benchOut              string
+}
+
+func run(w io.Writer, o runOpts) (scenario.Result, error) {
+	sc, err := scenario.Preset(o.preset, o.n)
 	if err != nil {
 		return scenario.Result{}, cli.WrapUsage(err)
 	}
-	healer, err := repro.HealerByName(healName)
+	healer, err := repro.HealerByName(o.heal)
 	if err != nil {
 		return scenario.Result{}, cli.WrapUsage(err)
+	}
+	if o.shards > 0 && o.tracePath != "" {
+		return scenario.Result{}, cli.Usagef("-shards is incompatible with -trace (tracing assumes a single mutator)")
 	}
 	cfg := scenario.Config{
-		NewGraph:          func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(n, 3, r) },
+		NewGraph:          func(r *rng.RNG) *graph.Graph { return gen.BarabasiAlbert(o.n, 3, r) },
 		Schedule:          sc,
 		Healer:            healer,
-		Trials:            trials,
-		Seed:              seed,
-		Workers:           workers,
-		MeasureEvery:      measureCadence(measure, sc.Events()),
-		SampleThreshold:   threshold,
-		SampleSources:     sources,
-		TrackConnectivity: conn,
-		ConnectivityEvery: connEvery,
+		Trials:            o.trials,
+		Seed:              o.seed,
+		Workers:           o.workers,
+		MeasureEvery:      measureCadence(o.measure, sc.Events()),
+		SampleThreshold:   o.threshold,
+		SampleSources:     o.sources,
+		TrackConnectivity: o.conn,
+		ConnectivityEvery: o.connEvery,
+		Shards:            o.shards,
+		CommitWorkers:     o.commitWorkers,
 	}
-	newVictim, err := victimPolicy(victim)
+	newVictim, err := victimPolicy(o.victim)
 	if err != nil {
 		return scenario.Result{}, cli.WrapUsage(err)
 	}
 	cfg.NewVictim = newVictim
 	var rec *trace.Recorder
-	if tracePath != "" {
+	if o.tracePath != "" {
 		cfg.Observe = func(trial int, s *core.State) {
 			if trial == 0 {
 				rec = trace.Attach(s)
 			}
 		}
 	}
+	var lat *latencySink
+	if o.benchOut != "" {
+		lat = &latencySink{}
+		cfg.ObserveLatency = lat.observe
+	}
 
+	start := time.Now()
 	res, err := scenario.Run(cfg)
+	wall := time.Since(start)
 	if err != nil {
 		return res, err
 	}
 	fmt.Fprintf(w, "%s\n", res.String())
 	fmt.Fprintln(w, summaryTable(res).String())
 
-	if out != "" {
+	if o.out != "" {
 		// cli.WriteFile owns flush and close, so a full disk or a failing
 		// close surfaces as this command's error instead of a silently
 		// truncated checkpoint file.
-		err := cli.WriteFile(out, w, func(dst io.Writer) error {
+		err := cli.WriteFile(o.out, w, func(dst io.Writer) error {
 			return writeCheckpoints(dst, res)
 		})
 		if err != nil {
 			return res, err
 		}
-		if out != "-" {
-			fmt.Fprintf(w, "wrote %d checkpoint records to %s\n", checkpointCount(res), out)
+		if o.out != "-" {
+			fmt.Fprintf(w, "wrote %d checkpoint records to %s\n", checkpointCount(res), o.out)
 		}
 	}
-	if tracePath != "" {
-		err := cli.WriteFile(tracePath, w, func(dst io.Writer) error {
+	if o.tracePath != "" {
+		err := cli.WriteFile(o.tracePath, w, func(dst io.Writer) error {
 			return trace.EncodeJSONL(dst, rec.Events())
 		})
 		if err != nil {
 			return res, err
 		}
-		fmt.Fprintf(w, "wrote %d trace events (trial 0) to %s\n", rec.Len(), tracePath)
+		fmt.Fprintf(w, "wrote %d trace events (trial 0) to %s\n", rec.Len(), o.tracePath)
+	}
+	if o.benchOut != "" {
+		b := makeBenchRecord(o, res, wall, lat)
+		err := cli.WriteFile(o.benchOut, w, func(dst io.Writer) error {
+			enc := json.NewEncoder(dst)
+			enc.SetIndent("", "  ")
+			return enc.Encode(b)
+		})
+		if err != nil {
+			return res, err
+		}
+		if o.benchOut != "-" {
+			fmt.Fprintf(w, "wrote benchmark record (%0.f heals/sec) to %s\n", b.HealsPerSec, o.benchOut)
+		}
 	}
 	return res, nil
+}
+
+// latencySink collects per-operation commit latencies (µs) from
+// concurrent workers for the benchmark record's percentiles.
+type latencySink struct {
+	mu sync.Mutex
+	us []int32
+}
+
+func (l *latencySink) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us > math.MaxInt32 {
+		us = math.MaxInt32
+	}
+	l.mu.Lock()
+	l.us = append(l.us, int32(us))
+	l.mu.Unlock()
+}
+
+// percentile returns the p-quantile (0 ≤ p ≤ 1) of the sorted samples.
+func percentile(sorted []int32, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i])
+}
+
+// benchRecord is the machine-readable output of -bench-out: one JSON
+// object per run, consumed by CI's shard-scaling job and benchstat-style
+// trend tracking. Heals counts committed kill + join + batch-kill
+// victims across all trials; cores records the machine so cross-run
+// comparisons aren't apples to oranges.
+type benchRecord struct {
+	Preset        string  `json:"preset"`
+	N             int     `json:"n"`
+	Events        int     `json:"events"`
+	Trials        int     `json:"trials"`
+	Healer        string  `json:"healer"`
+	Victim        string  `json:"victim"`
+	Seed          uint64  `json:"seed"`
+	Shards        int     `json:"shards"`
+	CommitWorkers int     `json:"commit_workers"`
+	Workers       int     `json:"workers"`
+	Cores         int     `json:"cores"`
+	Gomaxprocs    int     `json:"gomaxprocs"`
+	WallMS        float64 `json:"wall_ms"`
+	Heals         int     `json:"heals"`
+	HealsPerSec   float64 `json:"heals_per_sec"`
+	P50us         float64 `json:"p50_us"`
+	P95us         float64 `json:"p95_us"`
+	P99us         float64 `json:"p99_us"`
+}
+
+func makeBenchRecord(o runOpts, res scenario.Result, wall time.Duration, lat *latencySink) benchRecord {
+	heals := 0
+	for _, tr := range res.Trials {
+		heals += tr.Deletes + tr.Inserts + tr.Killed
+	}
+	b := benchRecord{
+		Preset: res.Schedule, N: o.n, Events: res.Events, Trials: len(res.Trials),
+		Healer: res.HealerName, Victim: res.VictimName, Seed: o.seed,
+		Shards: o.shards, CommitWorkers: o.commitWorkers, Workers: o.workers,
+		Cores: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0),
+		WallMS: float64(wall.Nanoseconds()) / 1e6,
+		Heals:  heals,
+	}
+	if s := wall.Seconds(); s > 0 {
+		b.HealsPerSec = float64(heals) / s
+	}
+	if lat != nil {
+		sort.Slice(lat.us, func(i, j int) bool { return lat.us[i] < lat.us[j] })
+		b.P50us = percentile(lat.us, 0.50)
+		b.P95us = percentile(lat.us, 0.95)
+		b.P99us = percentile(lat.us, 0.99)
+	}
+	return b
 }
 
 // measureCadence resolves the -measure-every flag: 0 spaces ~10

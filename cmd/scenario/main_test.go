@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -40,8 +41,11 @@ func TestRunSmall(t *testing.T) {
 	out := filepath.Join(dir, "cp.jsonl")
 	tracePath := filepath.Join(dir, "trace.jsonl")
 	var buf bytes.Buffer
-	res, err := run(&buf, "flash-crowd", 64, "SDASH", "MaxNode", 2, 7, 1, 0,
-		32, 4, true, 1, out, tracePath)
+	res, err := run(&buf, runOpts{
+		preset: "flash-crowd", n: 64, heal: "SDASH", victim: "MaxNode",
+		trials: 2, seed: 7, workers: 1, threshold: 32, sources: 4,
+		conn: true, connEvery: 1, out: out, tracePath: tracePath,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,14 +143,97 @@ func TestRunDifferentialPipelined(t *testing.T) {
 
 func TestRunRejectsBadInputs(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "no-such-preset", 64, "DASH", "Uniform", 1, 1, 1, 0, 0, 0, false, 1, "", ""); err == nil {
+	if _, err := run(&buf, runOpts{preset: "no-such-preset", n: 64, heal: "DASH", victim: "Uniform", trials: 1, seed: 1, workers: 1, connEvery: 1}); err == nil {
 		t.Error("unknown preset should fail")
 	}
-	if _, err := run(&buf, "disaster", 64, "NoSuchHealer", "Uniform", 1, 1, 1, 0, 0, 0, false, 1, "", ""); err == nil {
+	if _, err := run(&buf, runOpts{preset: "disaster", n: 64, heal: "NoSuchHealer", victim: "Uniform", trials: 1, seed: 1, workers: 1, connEvery: 1}); err == nil {
 		t.Error("unknown healer should fail")
 	}
-	if _, err := run(&buf, "disaster", 64, "DASH", "NoSuchAttack", 1, 1, 1, 0, 0, 0, false, 1, "", ""); err == nil {
+	if _, err := run(&buf, runOpts{preset: "disaster", n: 64, heal: "DASH", victim: "NoSuchAttack", trials: 1, seed: 1, workers: 1, connEvery: 1}); err == nil {
 		t.Error("unknown victim policy should fail")
+	}
+	sharded := runOpts{preset: "sustained-churn", n: 64, heal: "DASH", trials: 1, seed: 1, workers: 1, shards: 2}
+	bad := sharded
+	bad.victim = "MaxNode"
+	if _, err := run(&buf, bad); err == nil {
+		t.Error("-shards with a non-Uniform victim should fail")
+	}
+	bad = sharded
+	bad.conn = true
+	if _, err := run(&buf, bad); err == nil {
+		t.Error("-shards with connectivity tracking should fail")
+	}
+	bad = sharded
+	bad.tracePath = "unused.jsonl"
+	if _, err := run(&buf, bad); err == nil {
+		t.Error("-shards with -trace should fail")
+	}
+}
+
+// TestRunShardedBench drives the -shards path end to end: the sharded
+// run must produce the same aggregate result as the sequential run for
+// the same seed, and -bench-out must emit a well-formed record.
+func TestRunShardedBench(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "BENCH_sustained-churn.json")
+	base := runOpts{
+		preset: "sustained-churn", n: 256, heal: "SDASH", victim: "Uniform",
+		trials: 2, seed: 11, workers: 1, measure: -1,
+	}
+	var buf bytes.Buffer
+	seq, err := run(&buf, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.shards = 4
+	sharded.commitWorkers = 2
+	sharded.benchOut = benchPath
+	shr, err := run(&buf, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Trials, shr.Trials) {
+		t.Fatalf("sharded CLI run diverged from sequential:\nseq %+v\nshr %+v", seq.Trials, shr.Trials)
+	}
+
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("bad bench record %q: %v", raw, err)
+	}
+	wantHeals := 0
+	for _, tr := range shr.Trials {
+		wantHeals += tr.Deletes + tr.Inserts + tr.Killed
+	}
+	if rec.Preset != "sustained-churn" || rec.N != 256 || rec.Shards != 4 ||
+		rec.CommitWorkers != 2 || rec.Heals != wantHeals {
+		t.Fatalf("bench record fields wrong: %+v (want heals %d)", rec, wantHeals)
+	}
+	if rec.WallMS <= 0 || rec.HealsPerSec <= 0 || rec.Cores <= 0 || rec.Gomaxprocs <= 0 {
+		t.Fatalf("bench record timing fields implausible: %+v", rec)
+	}
+	if rec.P50us > rec.P95us || rec.P95us > rec.P99us {
+		t.Fatalf("latency percentiles out of order: %+v", rec)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v", got)
+	}
+	s := []int32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(s, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := percentile(s, 1); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := percentile(s, 0.5); got != 5 {
+		t.Errorf("p50 = %v", got)
 	}
 }
 
@@ -159,8 +246,10 @@ func TestDisasterPresetSmoke(t *testing.T) {
 	}
 	const n = 50_000
 	var buf bytes.Buffer
-	res, err := run(&buf, "disaster", n, "DASH", "Uniform", 1, 1, 0, 0,
-		0, 0, true, 1, "", "")
+	res, err := run(&buf, runOpts{
+		preset: "disaster", n: n, heal: "DASH", victim: "Uniform",
+		trials: 1, seed: 1, conn: true, connEvery: 1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

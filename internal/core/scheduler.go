@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// DefaultShardRegionCap bounds conflict-region size for concurrent
+// admission, mirroring internal/dist's pipeline cap: a kill whose
+// region outgrows it falls back to a universal (fully serialized)
+// commit rather than paying an unbounded admission walk.
+const DefaultShardRegionCap = 512
+
+// ShardTicket tracks one operation through the sharded commit path.
+type ShardTicket struct {
+	Kill   bool       // kill (true) or join (false)
+	Node   int        // victim, or the join's new node
+	Attach []int      // join attach targets (duplicate-free)
+	HR     HealResult // kill only; populated at commit
+	Start  time.Time  // submission time, for latency observers
+
+	healer Healer
+	hooks  *Hooks
+	onDone func(*ShardTicket)
+	done   chan struct{}
+	id     int32
+	region []int32
+}
+
+// Done returns a channel closed when the ticket's commit (and onDone
+// callback) has completed.
+func (t *ShardTicket) Done() <-chan struct{} { return t.done }
+
+// ShardScheduler admits kills and joins from one serial goroutine,
+// computes each operation's conflict region (victim ∪ G-neighbors ∪
+// their G′ components — the same frozen-region definition
+// internal/dist's pipeline proved out), and hands non-conflicting
+// operations to a worker pool that commits them concurrently through
+// a ShardedState.
+//
+// Scheduling rules, in order:
+//
+//   - An operation whose region intersects an in-flight ticket's
+//     stamped region waits for that ticket and retries, so conflicting
+//     operations serialize in issue order (admission is serial, so the
+//     conflict set only ever shrinks while waiting).
+//   - A kill whose region exceeds the cap drains all in-flight work
+//     and commits inline through the sequential engine (the universal
+//     fallback).
+//   - Joins admit serially (node allocation and bookkeeping growth are
+//     the mini-barrier) and fire OnJoin hooks at admission, so join
+//     events enter any observer's log in node-index order — the order
+//     trace replay demands — while their attach edges commit
+//     concurrently.
+//
+// All methods except worker-internal ones must be called from a single
+// goroutine (the apply loop / trial runner). Memory visibility between
+// a completed commit and later admissions is through infMu: workers
+// clear their stamps under it after mutating, and admission walks
+// regions under it.
+type ShardScheduler struct {
+	ss        *ShardedState
+	healer    Healer
+	regionCap int
+	tasks     chan *ShardTicket
+	wg        sync.WaitGroup
+	workers   int
+
+	infMu   sync.Mutex
+	stamp   []int32                // node -> owning ticket id, 0 = free
+	live    map[int32]*ShardTicket // in-flight stamped tickets by id
+	nextID  int32
+	region  []int32  // admission scratch: the region being grown
+	visited []uint32 // admission scratch: visit-epoch stamps
+	vEpoch  uint32
+
+	closeOnce sync.Once
+
+	// Counters (admission-goroutine only).
+	conflicts  int64 // admission waits due to region overlap
+	universals int64 // cap-exceeded serialized commits
+}
+
+// NewShardScheduler starts a scheduler over ss with the given worker
+// count (<= 0 defaults to runtime.NumCPU()). The healer must support
+// the sharded path (SupportsSharded). Close must be called to drain
+// and stop the workers.
+func NewShardScheduler(ss *ShardedState, h Healer, workers int) *ShardScheduler {
+	if !SupportsSharded(h) {
+		panic(fmt.Sprintf("core: healer %s does not support the sharded commit path", h.Name()))
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	n := ss.st.N()
+	sc := &ShardScheduler{
+		ss:        ss,
+		healer:    h,
+		regionCap: DefaultShardRegionCap,
+		tasks:     make(chan *ShardTicket, workers),
+		workers:   workers,
+		stamp:     make([]int32, n),
+		live:      make(map[int32]*ShardTicket),
+		visited:   make([]uint32, n),
+	}
+	for i := 0; i < workers; i++ {
+		go sc.worker()
+	}
+	return sc
+}
+
+// Workers returns the commit worker count.
+func (sc *ShardScheduler) Workers() int { return sc.workers }
+
+// Conflicts returns how many admissions had to wait on an in-flight
+// conflicting ticket; Universals returns how many kills fell back to a
+// fully serialized commit. Admission-goroutine use only.
+func (sc *ShardScheduler) Conflicts() int64  { return sc.conflicts }
+func (sc *ShardScheduler) Universals() int64 { return sc.universals }
+
+// Kill submits the removal and heal of v. It blocks while v's region
+// conflicts with in-flight work, then either enqueues the commit
+// (returning as soon as it is admitted) or, past the region cap,
+// drains and commits inline. hooks (optional) fire on the committing
+// goroutine; onDone (optional) runs after the commit, before the
+// ticket's Done channel closes, and may run on a worker goroutine.
+func (sc *ShardScheduler) Kill(v int, hooks *Hooks, onDone func(*ShardTicket)) *ShardTicket {
+	t := &ShardTicket{
+		Kill: true, Node: v, healer: sc.healer,
+		hooks: hooks, onDone: onDone,
+		done: make(chan struct{}), Start: time.Now(),
+	}
+	for {
+		sc.infMu.Lock()
+		owner, within := sc.growKillRegion(v)
+		if owner != nil {
+			sc.conflicts++
+			ch := owner.done
+			sc.infMu.Unlock()
+			<-ch
+			continue
+		}
+		if !within {
+			sc.universals++
+			sc.infMu.Unlock()
+			sc.runUniversal(t)
+			return t
+		}
+		t.region = append(t.region, sc.region...)
+		sc.stampRegion(t)
+		sc.infMu.Unlock()
+		sc.wg.Add(1)
+		sc.tasks <- t
+		return t
+	}
+}
+
+// Join submits a join to the given attach targets (deduplicated,
+// order-preserving), drawing the newcomer's ID from r at admission so
+// the RNG stream matches the sequential engine's issue order. It
+// returns the new node's index once admitted; the attach edges commit
+// asynchronously. OnJoin hooks fire at admission on the calling
+// goroutine.
+func (sc *ShardScheduler) Join(attachTo []int, r *rng.RNG, hooks *Hooks, onDone func(*ShardTicket)) (int, *ShardTicket) {
+	attach := make([]int, 0, len(attachTo))
+	for _, u := range attachTo {
+		dup := false
+		for _, w := range attach {
+			if w == u {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			attach = append(attach, u)
+		}
+	}
+	t := &ShardTicket{
+		Node: -1, Attach: attach,
+		hooks: hooks, onDone: onDone,
+		done: make(chan struct{}), Start: time.Now(),
+	}
+	for {
+		sc.infMu.Lock()
+		var owner *ShardTicket
+		for _, u := range attach {
+			if id := sc.stamp[u]; id != 0 {
+				owner = sc.live[id]
+				break
+			}
+		}
+		if owner == nil {
+			break
+		}
+		sc.conflicts++
+		ch := owner.done
+		sc.infMu.Unlock()
+		<-ch
+	}
+	v := sc.ss.AdmitJoin(attach, r)
+	t.Node = v
+	// The node space grew; grow the admission tables with it.
+	for len(sc.stamp) <= v {
+		sc.stamp = append(sc.stamp, 0)
+		sc.visited = append(sc.visited, 0)
+	}
+	t.region = make([]int32, 0, len(attach)+1)
+	t.region = append(t.region, int32(v))
+	for _, u := range attach {
+		t.region = append(t.region, int32(u))
+	}
+	sc.stampRegion(t)
+	sc.infMu.Unlock()
+	if hooks != nil && hooks.OnJoin != nil {
+		hooks.OnJoin(v, attach)
+	}
+	sc.wg.Add(1)
+	sc.tasks <- t
+	return v, t
+}
+
+// Barrier drains every in-flight commit and folds counters back, after
+// which the wrapped State is exact and safe for sequential use (batch
+// kills, snapshots, metrics) until the next submission.
+func (sc *ShardScheduler) Barrier() {
+	sc.wg.Wait()
+	sc.ss.Sync()
+}
+
+// Close drains in-flight commits, folds counters, and stops the
+// workers. Submitting after Close panics. Close is idempotent.
+func (sc *ShardScheduler) Close() {
+	sc.wg.Wait()
+	sc.ss.Sync()
+	sc.closeOnce.Do(func() { close(sc.tasks) })
+}
+
+// growKillRegion grows v's conflict region into sc.region under infMu:
+// {v} ∪ N_G(v), closed under G′ adjacency. It returns the owning
+// ticket of the first stamped node encountered (the caller waits and
+// retries), and whether the region stayed within the cap. Reading the
+// adjacency of unstamped nodes is safe: only region owners mutate a
+// node, and completed owners' writes are visible via infMu.
+func (sc *ShardScheduler) growKillRegion(v int) (owner *ShardTicket, within bool) {
+	st := sc.ss.st
+	sc.vEpoch++
+	if sc.vEpoch == 0 { // epoch wrapped; invalidate all stale stamps
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.vEpoch = 1
+	}
+	sc.region = sc.region[:0]
+	push := func(w int) (*ShardTicket, bool) {
+		if sc.visited[w] == sc.vEpoch {
+			return nil, true
+		}
+		if id := sc.stamp[w]; id != 0 {
+			return sc.live[id], false
+		}
+		sc.visited[w] = sc.vEpoch
+		sc.region = append(sc.region, int32(w))
+		return nil, true
+	}
+	if o, ok := push(v); !ok {
+		return o, false
+	}
+	for _, u := range st.G.Neighbors(v) {
+		if o, ok := push(int(u)); !ok {
+			return o, false
+		}
+	}
+	for head := 0; head < len(sc.region); head++ {
+		if len(sc.region) > sc.regionCap {
+			return nil, false
+		}
+		for _, u := range st.Gp.Neighbors(int(sc.region[head])) {
+			if o, ok := push(int(u)); !ok {
+				return o, false
+			}
+		}
+	}
+	return nil, len(sc.region) <= sc.regionCap
+}
+
+// stampRegion claims t's region; caller holds infMu.
+func (sc *ShardScheduler) stampRegion(t *ShardTicket) {
+	sc.nextID++
+	if sc.nextID <= 0 { // wrapped; 0 is the free marker
+		sc.nextID = 1
+	}
+	t.id = sc.nextID
+	for _, w := range t.region {
+		sc.stamp[w] = t.id
+	}
+	sc.live[t.id] = t
+}
+
+// runUniversal commits t through the sequential engine after draining
+// all in-flight work — the cap-exceeded fallback. Admission is serial,
+// so nothing can be admitted while this runs.
+func (sc *ShardScheduler) runUniversal(t *ShardTicket) {
+	sc.wg.Wait()
+	sc.ss.Sync()
+	st := sc.ss.st
+	prev := st.hooks
+	st.SetHooks(t.hooks)
+	t.HR = st.DeleteAndHeal(t.Node, t.healer)
+	st.SetHooks(prev)
+	sc.ss.notePeakEdges(t.HR.Added)
+	if t.onDone != nil {
+		t.onDone(t)
+	}
+	close(t.done)
+}
+
+func (sc *ShardScheduler) worker() {
+	for t := range sc.tasks {
+		sc.ss.begin()
+		if t.Kill {
+			t.HR = sc.ss.CommitKill(t.Node, t.healer, t.hooks)
+		} else {
+			sc.ss.CommitJoin(t.Node, t.Attach)
+		}
+		sc.ss.end()
+		sc.infMu.Lock()
+		for _, w := range t.region {
+			if sc.stamp[w] == t.id {
+				sc.stamp[w] = 0
+			}
+		}
+		delete(sc.live, t.id)
+		sc.infMu.Unlock()
+		if t.onDone != nil {
+			t.onDone(t)
+		}
+		close(t.done)
+		sc.wg.Done()
+	}
+}

@@ -202,13 +202,19 @@ func (g *Graph) AppendNeighbors(dst []int, v int) []int {
 
 // AliveNodes returns the sorted list of alive nodes.
 func (g *Graph) AliveNodes() []int {
-	out := make([]int, 0, g.nAliv)
+	return g.AppendAliveNodes(make([]int, 0, g.nAliv))
+}
+
+// AppendAliveNodes appends the indices of all alive nodes to dst in
+// ascending order and returns it — the allocation-free counterpart of
+// AliveNodes for callers that reuse a buffer across sweeps.
+func (g *Graph) AppendAliveNodes(dst []int) []int {
 	for v, ok := range g.alive {
 		if ok {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // Edges returns all edges (u < v) in lexicographic order — free of

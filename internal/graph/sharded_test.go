@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestShardedShardOfBlockCyclic(t *testing.T) {
+	s := NewSharded(New(1024), 4)
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", s.Shards())
+	}
+	for v := 0; v < 1024; v++ {
+		want := (v / 64) % 4
+		if got := s.ShardOf(v); got != want {
+			t.Fatalf("ShardOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestShardedShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {7, 8}, {8, 8}, {9, 16},
+		{MaxShards + 1, MaxShards},
+	} {
+		if got := NewSharded(New(0), tc.in).Shards(); got != tc.want {
+			t.Errorf("NewSharded(shards=%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := NewSharded(New(0), 0).Shards(); got < 1 {
+		t.Errorf("default shard count = %d, want >= 1", got)
+	}
+}
+
+// TestShardedSequentialDifferential drives the same random mutation
+// stream through a Sharded wrapper and a plain reference Graph and
+// demands bit-identical topology and exact counters after Sync.
+func TestShardedSequentialDifferential(t *testing.T) {
+	r := rng.New(0x5eed)
+	for _, shards := range []int{1, 2, 8} {
+		g := New(64)
+		s := NewSharded(g, shards)
+		ref := New(64)
+		alive := make([]int, 64)
+		for i := range alive {
+			alive[i] = i
+		}
+		s.Begin()
+		for op := 0; op < 2000; op++ {
+			switch {
+			case len(alive) < 2 || r.Intn(10) == 0:
+				s.End()
+				v := s.AddNode()
+				s.Begin()
+				if w := ref.AddNode(); w != v {
+					t.Fatalf("AddNode diverged: %d vs %d", v, w)
+				}
+				alive = append(alive, v)
+			case r.Intn(5) == 0:
+				i := r.Intn(len(alive))
+				v := alive[i]
+				alive[i] = alive[len(alive)-1]
+				alive = alive[:len(alive)-1]
+				s.RemoveNode(v)
+				ref.RemoveNode(v)
+			default:
+				u := alive[r.Intn(len(alive))]
+				v := alive[r.Intn(len(alive))]
+				if u == v {
+					continue
+				}
+				if got, want := s.AddEdge(u, v), ref.AddEdge(u, v); got != want {
+					t.Fatalf("AddEdge(%d,%d) = %v, want %v", u, v, got, want)
+				}
+			}
+		}
+		s.End()
+		s.Sync()
+		if !g.Equal(ref) {
+			t.Fatalf("shards=%d: sharded graph diverged from reference", shards)
+		}
+		if g.NumAlive() != ref.NumAlive() || g.NumEdges() != ref.NumEdges() {
+			t.Fatalf("shards=%d: counters diverged: alive %d/%d edges %d/%d",
+				shards, g.NumAlive(), ref.NumAlive(), g.NumEdges(), ref.NumEdges())
+		}
+		if s.NumAlive() != ref.NumAlive() || s.NumEdges() != ref.NumEdges() {
+			t.Fatalf("shards=%d: aggregate counters diverged", shards)
+		}
+	}
+}
+
+// TestShardedConcurrentDisjointRegions mutates disjoint node ranges
+// from several goroutines at once — the access pattern the scheduler
+// guarantees — and checks the merged result against a sequential
+// replay. Run under -race this is the memory-model check for the
+// two-lock edge path and the per-shard counter cells.
+func TestShardedConcurrentDisjointRegions(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const groups = 4
+	const perGroup = 256
+	const n = groups * perGroup
+	const rounds = 40
+
+	build := func() (*Graph, *Sharded) {
+		g := New(n)
+		return g, NewSharded(g, 8)
+	}
+	// Group k owns nodes {v : v % groups == k}; every group's node set
+	// hits every shard, so shard locks genuinely interleave.
+	groupOps := func(k int, apply func(op int, u, v int, kill bool)) {
+		r := rng.New(uint64(0xabc + k))
+		for i := 0; i < rounds*perGroup; i++ {
+			u := r.Intn(perGroup)*groups + k
+			v := r.Intn(perGroup)*groups + k
+			if u == v {
+				continue
+			}
+			apply(i, u, v, r.Intn(64) == 0)
+		}
+	}
+
+	// Sequential reference: groups applied one after another.
+	refG := New(n)
+	for k := 0; k < groups; k++ {
+		groupOps(k, func(_ int, u, v int, kill bool) {
+			if kill {
+				if refG.Alive(u) {
+					// Killing u touches its neighbors, all of which are
+					// in group k by construction.
+					refG.RemoveNode(u)
+				}
+				return
+			}
+			if refG.Alive(u) && refG.Alive(v) {
+				refG.AddEdge(u, v)
+			}
+		})
+	}
+
+	g, s := build()
+	var wg sync.WaitGroup
+	for k := 0; k < groups; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			s.Begin()
+			defer s.End()
+			groupOps(k, func(_ int, u, v int, kill bool) {
+				if kill {
+					if g.Alive(u) {
+						s.RemoveNode(u)
+					}
+					return
+				}
+				if g.Alive(u) && g.Alive(v) {
+					s.AddEdge(u, v)
+				}
+			})
+		}(k)
+	}
+	wg.Wait()
+	s.Sync()
+
+	if !g.Equal(refG) {
+		t.Fatal("concurrent disjoint-region mutation diverged from sequential replay")
+	}
+	if s.NumAlive() != refG.NumAlive() || s.NumEdges() != refG.NumEdges() {
+		t.Fatalf("aggregates diverged: alive %d/%d edges %d/%d",
+			s.NumAlive(), refG.NumAlive(), s.NumEdges(), refG.NumEdges())
+	}
+}
+
+func TestShardedEpochsAdvance(t *testing.T) {
+	g := New(128)
+	s := NewSharded(g, 2)
+	before := s.Epochs(nil)
+	s.Begin()
+	s.AddEdge(0, 64) // node 0 in shard 0, node 64 in shard 1
+	s.End()
+	after := s.Epochs(nil)
+	for i := range before {
+		if after[i] <= before[i] {
+			t.Fatalf("shard %d epoch did not advance: %d -> %d", i, before[i], after[i])
+		}
+	}
+	// A mutation confined to shard 0 must not touch shard 1's epoch.
+	s.Begin()
+	s.AddEdge(1, 2)
+	s.End()
+	last := s.Epochs(nil)
+	if last[0] <= after[0] {
+		t.Fatalf("shard 0 epoch did not advance on local edge")
+	}
+	if last[1] != after[1] {
+		t.Fatalf("shard 1 epoch moved on a shard-0-only edge: %d -> %d", after[1], last[1])
+	}
+}
+
+func TestShardedPanicsMirrorGraph(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	g := New(8)
+	s := NewSharded(g, 2)
+	s.Begin()
+	defer s.End()
+	mustPanic("self-loop", func() { s.AddEdge(3, 3) })
+	s.RemoveNode(5)
+	mustPanic("dead endpoint", func() { s.AddEdge(1, 5) })
+	mustPanic("double remove", func() { s.RemoveNode(5) })
+}

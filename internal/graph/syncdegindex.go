@@ -1,0 +1,81 @@
+package graph
+
+import "sync"
+
+// SyncMaxDegreeIndex adapts MaxDegreeIndex to the sharded commit path,
+// where several committing goroutines discover degree rises (healed-edge
+// endpoints, join attach targets) concurrently.
+//
+// MaxDegreeIndex itself has a strict single-owner contract: NoteRise,
+// NoteJoin, and Max mutate unsynchronized heaps and read live degrees
+// from the graph, so exactly one goroutine may use it and only while no
+// one else mutates the graph. This wrapper relaxes that in the one way
+// the sharded scheduler needs:
+//
+//   - NoteRise/NoteJoin may be called from any number of goroutines
+//     concurrently, provided each caller owns the node's conflict
+//     region (the scheduler's guarantee — which makes reading the
+//     node's degree at call time safe). The rise is recorded as a
+//     (node, exact-degree) pair under a mutex and NOT applied to the
+//     buckets yet, so callers never contend on the heap structure or
+//     read foreign nodes' degrees.
+//   - Max merges the recorded rises into the underlying index and then
+//     scans. It must only be called at quiescence (no commits in
+//     flight, e.g. from a scheduler barrier), because the scan
+//     validates candidates against live graph degrees.
+//
+// Correctness of the lazy merge: entries for one node come from
+// non-overlapping commits (regions conflict), so mutex acquisition
+// order is their temporal order and the last recorded degree for a node
+// is its exact degree as of its last rise; degrees only drop after
+// that, which the underlying index's lazy-demotion scan already
+// handles. The concurrent portion of this contract is enforced by a
+// race-detecting test (TestSyncMaxDegreeIndexConcurrent).
+type SyncMaxDegreeIndex struct {
+	mu      sync.Mutex
+	ix      *MaxDegreeIndex
+	pending []riseAt
+}
+
+type riseAt struct{ v, d int32 }
+
+// NewSyncMaxDegreeIndex indexes the alive nodes of g; see
+// NewMaxDegreeIndex. The graph must be quiescent during construction.
+func NewSyncMaxDegreeIndex(g *Graph) *SyncMaxDegreeIndex {
+	return &SyncMaxDegreeIndex{ix: NewMaxDegreeIndex(g)}
+}
+
+// NoteRise records that an edge incident to v was added. Safe for
+// concurrent use by callers that own v's conflict region.
+func (s *SyncMaxDegreeIndex) NoteRise(v int) {
+	if v < 0 || !s.ix.g.Alive(v) {
+		return
+	}
+	d := int32(s.ix.g.Degree(v))
+	s.mu.Lock()
+	s.pending = append(s.pending, riseAt{int32(v), d})
+	s.mu.Unlock()
+}
+
+// NoteJoin records a node that did not exist when the index was built.
+// Safe for concurrent use under the same region-ownership contract.
+func (s *SyncMaxDegreeIndex) NoteJoin(v int) { s.NoteRise(v) }
+
+// Max merges all recorded rises and returns the alive node with the
+// largest degree (smallest index on ties), or -1 if none. Must be
+// called at quiescence only.
+func (s *SyncMaxDegreeIndex) Max() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.pending {
+		v, d := int(p.v), int(p.d)
+		for len(s.ix.filed) <= v {
+			s.ix.filed = append(s.ix.filed, -1)
+		}
+		if s.ix.filed[v] != p.d {
+			s.ix.file(v, d)
+		}
+	}
+	s.pending = s.pending[:0]
+	return s.ix.Max()
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestSyncMaxDegreeIndexConcurrent is the race-detecting enforcement of
+// the SyncMaxDegreeIndex contract: four goroutines own disjoint node
+// groups (the scheduler's region guarantee), add healed edges through a
+// Sharded wrapper, and report every rise concurrently; Max at
+// quiescence must equal the naive MaxDegreeNode scan. Run under -race.
+func TestSyncMaxDegreeIndexConcurrent(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const groups = 4
+	const perGroup = 200
+	const n = groups * perGroup
+
+	g := New(n)
+	s := NewSharded(g, 8)
+	ix := NewSyncMaxDegreeIndex(g)
+
+	var wg sync.WaitGroup
+	for k := 0; k < groups; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			r := rng.New(uint64(0xd0 + k))
+			s.Begin()
+			defer s.End()
+			for i := 0; i < 4*perGroup; i++ {
+				u := r.Intn(perGroup)*groups + k
+				v := r.Intn(perGroup)*groups + k
+				if u == v {
+					continue
+				}
+				if s.AddEdge(u, v) {
+					ix.NoteRise(u)
+					ix.NoteRise(v)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	s.Sync()
+
+	if got, want := ix.Max(), g.MaxDegreeNode(); got != want {
+		t.Fatalf("Max() = %d (deg %d), want %d (deg %d)",
+			got, g.Degree(got), want, g.Degree(want))
+	}
+
+	// Interleave kills (lazy demotion) with another concurrent rise
+	// round, then re-check.
+	r := rng.New(0xfeed)
+	for i := 0; i < n/4; i++ {
+		v := r.Intn(n)
+		if g.Alive(v) {
+			g.RemoveNode(v)
+		}
+	}
+	for k := 0; k < groups; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			r := rng.New(uint64(0xe0 + k))
+			s.Begin()
+			defer s.End()
+			for i := 0; i < perGroup; i++ {
+				u := r.Intn(perGroup)*groups + k
+				v := r.Intn(perGroup)*groups + k
+				if u == v || !g.Alive(u) || !g.Alive(v) {
+					continue
+				}
+				if s.AddEdge(u, v) {
+					ix.NoteRise(u)
+					ix.NoteRise(v)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	s.Sync()
+
+	if got, want := ix.Max(), g.MaxDegreeNode(); got != want {
+		t.Fatalf("after kills: Max() = %d, want %d", got, want)
+	}
+}
+
+// TestSyncMaxDegreeIndexJoins checks the pending-merge path grows the
+// filed table for nodes born after construction.
+func TestSyncMaxDegreeIndexJoins(t *testing.T) {
+	g := New(4)
+	s := NewSharded(g, 2)
+	ix := NewSyncMaxDegreeIndex(g)
+	v := s.AddNode()
+	s.Begin()
+	s.AddEdge(v, 0)
+	s.AddEdge(v, 1)
+	s.AddEdge(v, 2)
+	s.End()
+	ix.NoteJoin(v)
+	s.Sync()
+	if got := ix.Max(); got != v {
+		t.Fatalf("Max() = %d, want joined node %d", got, v)
+	}
+}

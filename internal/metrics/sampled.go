@@ -16,11 +16,36 @@ package metrics
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
+
+// bfsScratch pools BFS dist/queue buffers across sampled measurements.
+// server.MeasureStretch and large-scale scenario checkpoints call the
+// samplers repeatedly on 10⁵–10⁷-node graphs; without the pool every
+// call allocates an n-length dist row (4 MB at n = 10⁶) that is garbage
+// one call later. Buffers are taken per Measure call and returned
+// before it ends, so pooling does not change any concurrency contract.
+type bfsScratch struct {
+	dist  []int32
+	queue []int32
+	alive []int // source-sampling buffer (SampledDiameter)
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
+// getBFSScratch returns a pooled scratch with dist sized to n.
+func getBFSScratch(n int) *bfsScratch {
+	b := bfsPool.Get().(*bfsScratch)
+	if cap(b.dist) < n {
+		b.dist = make([]int32, n)
+	}
+	b.dist = b.dist[:n]
+	return b
+}
 
 // DefaultSampleThreshold is the alive-node count at or above which the
 // scenario engine switches from exact to sampled metrics.
@@ -47,12 +72,10 @@ type SampledResult struct {
 // SampledStretch measures path dilation like Stretch, but only over pairs
 // (s, v) whose first endpoint is one of k random sources fixed at
 // construction time. Snapshot cost is O(k·m) time and O(k·n) memory. Not
-// safe for concurrent use (BFS scratch is reused across Measure calls).
+// safe for concurrent use.
 type SampledStretch struct {
 	sources []int
 	base    [][]int32 // one original-distance row per source
-	dist    []int32
-	queue   []int32
 }
 
 // NewSampledStretch snapshots the distances from k random alive sources
@@ -71,7 +94,13 @@ func NewSampledStretch(g *graph.Graph, k int, r *rng.RNG) *SampledStretch {
 // without replacement (partial Fisher–Yates), returned sorted. k <= 0
 // selects every alive node.
 func sampleAlive(g *graph.Graph, k int, r *rng.RNG) []int {
-	alive := g.AliveNodes()
+	return pickSources(g.AliveNodes(), k, r)
+}
+
+// pickSources partially shuffles alive in place and returns the k
+// chosen sources (sorted), or all of alive when k <= 0 or k exceeds its
+// length.
+func pickSources(alive []int, k int, r *rng.RNG) []int {
 	if k <= 0 || k >= len(alive) {
 		return alive
 	}
@@ -100,14 +129,13 @@ func (st *SampledStretch) Measure(cur *graph.Graph) SampledResult {
 	res := SampledResult{Result: Result{Max: 1}, Sampled: true}
 	var sum float64
 	var perSourceMeans []float64
-	if len(st.dist) != cur.N() {
-		st.dist = make([]int32, cur.N()) // the graph grew (churn): regrow once
-	}
+	scratch := getBFSScratch(cur.N())
+	defer bfsPool.Put(scratch)
 	for i, src := range st.sources {
 		if !cur.Alive(src) {
 			continue
 		}
-		st.queue = cur.BFSInto(src, st.dist, st.queue)
+		scratch.queue = cur.BFSInto(src, scratch.dist, scratch.queue)
 		row := st.base[i]
 		var srcSum float64
 		srcPairs := 0
@@ -116,12 +144,12 @@ func (st *SampledStretch) Measure(cur *graph.Graph) SampledResult {
 				continue
 			}
 			res.Pairs++
-			if st.dist[v] < 0 {
+			if scratch.dist[v] < 0 {
 				res.Disconnected++
 				res.Max = math.Inf(1)
 				continue
 			}
-			ratio := float64(st.dist[v]) / float64(orig)
+			ratio := float64(scratch.dist[v]) / float64(orig)
 			if ratio > res.Max {
 				res.Max = ratio
 			}
@@ -205,18 +233,19 @@ type DiameterEstimate struct {
 // count, making the result exact). Disconnected pairs are ignored, as in
 // Diameter.
 func SampledDiameter(g *graph.Graph, k int, r *rng.RNG) DiameterEstimate {
-	sources := sampleAlive(g, k, r)
+	scratch := getBFSScratch(g.N())
+	defer bfsPool.Put(scratch)
+	scratch.alive = g.AppendAliveNodes(scratch.alive[:0])
+	sources := pickSources(scratch.alive, k, r)
 	est := DiameterEstimate{Exact: len(sources) == g.NumAlive()}
 	if len(sources) == 0 {
 		return est
 	}
-	dist := make([]int32, g.N())
-	var queue []int32
 	eccs := make([]float64, 0, len(sources))
 	for _, src := range sources {
-		queue = g.BFSInto(src, dist, queue)
+		scratch.queue = g.BFSInto(src, scratch.dist, scratch.queue)
 		ecc := int32(0)
-		for _, d := range dist {
+		for _, d := range scratch.dist {
 			if d > ecc {
 				ecc = d
 			}

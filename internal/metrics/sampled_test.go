@@ -166,3 +166,37 @@ func TestSampledStretchSurvivesChurn(t *testing.T) {
 		t.Fatalf("patched graph should not report disconnection: %+v", res)
 	}
 }
+
+// TestSampledBFSScratchPooled pins the sync.Pool satellite: once the
+// pool is warm, a SampledDiameter sweep over a large graph must not
+// allocate the O(n) dist row again — the per-call allocation budget
+// stays far below 4 bytes per node.
+func TestSampledBFSScratchPooled(t *testing.T) {
+	const n = 50_000
+	r := rng.New(5)
+	g := gen.BarabasiAlbert(n, 3, r)
+	SampledDiameter(g, 4, r) // warm the pool
+
+	bench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			SampledDiameter(g, 4, r)
+		}
+	})
+	perOp := bench.AllocedBytesPerOp()
+	if perOp > int64(n) {
+		t.Fatalf("SampledDiameter allocates %d B/op on a %d-node graph; the BFS scratch is not being pooled", perOp, n)
+	}
+
+	st := NewSampledStretch(g, 4, r)
+	st.Measure(g) // warm
+	bench = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st.Measure(g)
+		}
+	})
+	if perOp := bench.AllocedBytesPerOp(); perOp > int64(n) {
+		t.Fatalf("SampledStretch.Measure allocates %d B/op on a %d-node graph; the BFS scratch is not being pooled", perOp, n)
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/core"
@@ -154,6 +155,24 @@ type Config struct {
 	// Observe, when non-nil, is called once per trial right after the
 	// state is constructed — e.g. to trace.Attach a recorder.
 	Observe func(trial int, s *core.State)
+
+	// Shards, when > 0, runs trials on the sharded commit path:
+	// region-disjoint kills and joins commit concurrently on
+	// CommitWorkers goroutines through core.ShardScheduler (batch
+	// kills and checkpoints run at barriers). Results are bit-identical
+	// to the sequential path. Requires a DASH/SDASH healer and Uniform
+	// victims, and is incompatible with TrackConnectivity and Observe
+	// (per-event observation assumes a single mutator); Run returns an
+	// error otherwise. The shard count is rounded up to a power of two.
+	Shards int
+	// CommitWorkers is the concurrent commit goroutine count when
+	// Shards > 0 (0 = all CPUs). Unlike Workers (which parallelizes
+	// across trials), this parallelizes within a trial.
+	CommitWorkers int
+	// ObserveLatency, when non-nil, receives each kill's and join's
+	// submission-to-commit latency. On the sharded path it is called
+	// from commit workers, so it must be safe for concurrent use.
+	ObserveLatency func(time.Duration)
 }
 
 // Checkpoint is one metrics measurement within a trial.
@@ -243,6 +262,13 @@ func Run(cfg Config) (Result, error) {
 	if newVictim == nil {
 		newVictim = func() VictimPolicy { return Uniform{} }
 	}
+	trial := runTrial
+	if cfg.Shards > 0 {
+		if err := validateSharded(cfg, newVictim()); err != nil {
+			return Result{}, err
+		}
+		trial = runTrialSharded
+	}
 	res := Result{
 		Schedule:   cfg.Schedule.Name,
 		HealerName: cfg.Healer.Name(),
@@ -252,7 +278,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	master := rng.New(cfg.Seed)
 	sim.ForEachTrial(trials, master, cfg.Workers, func(i int, tr *rng.RNG) {
-		res.Trials[i] = runTrial(cfg, events, newVictim(), i, tr)
+		res.Trials[i] = trial(cfg, events, newVictim(), i, tr)
 	})
 	agg := func(f func(TrialResult) float64) stats.Summary {
 		xs := make([]float64, len(res.Trials))
@@ -376,7 +402,14 @@ func (t *trialRun) doDelete(event int) {
 		t.nbrScratch = t.s.G.AppendNeighbors(t.nbrScratch[:0], v)
 	}
 	t.alive.Remove(v)
+	var start time.Time
+	if t.cfg.ObserveLatency != nil {
+		start = time.Now()
+	}
 	hr := t.s.DeleteAndHeal(v, t.cfg.Healer)
+	if t.cfg.ObserveLatency != nil {
+		t.cfg.ObserveLatency(time.Since(start))
+	}
 	t.res.Deletes++
 	t.res.EdgesAdded += len(hr.Added)
 	t.notePeak(hr.Added)
@@ -405,7 +438,14 @@ func (t *trialRun) doInsert(size int) {
 			attach = append(attach, u)
 		}
 	}
+	var start time.Time
+	if t.cfg.ObserveLatency != nil {
+		start = time.Now()
+	}
 	v := t.s.Join(attach, t.opR)
+	if t.cfg.ObserveLatency != nil {
+		t.cfg.ObserveLatency(time.Since(start))
+	}
 	t.alive.Add(v)
 	t.res.Inserts++
 	if obs, ok := t.victim.(HealObserver); ok {

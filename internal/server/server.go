@@ -67,6 +67,19 @@ type Config struct {
 	// metrics.DefaultSampleThreshold.
 	SampleThreshold int
 
+	// CommitWorkers, when > 0, upgrades the apply loop to the sharded
+	// commit path: kills and joins still admit serially (validation,
+	// victim picks, RNG draws, and backpressure are unchanged — a full
+	// queue still answers 429), but region-disjoint heals commit
+	// concurrently on this many workers through core.ShardScheduler.
+	// Operations needing a quiescent graph (batch kills, snapshots,
+	// restore, stretch measurement) drain in-flight commits first.
+	// Requires a DASH/SDASH healer (New panics otherwise).
+	CommitWorkers int
+	// Shards is the graph shard count when CommitWorkers > 0 (rounded up
+	// to a power of two; 0 = one shard per CPU).
+	Shards int
+
 	// beforeApply, when non-nil, runs in the apply loop before each op —
 	// a test hook for making the loop arbitrarily slow.
 	beforeApply func()
@@ -94,6 +107,12 @@ type Server struct {
 	auto    *metrics.AutoStretch
 	pending []trace.Event // hook buffer for the op in flight
 
+	// Sharded commit path (nil when Config.CommitWorkers == 0). The
+	// scheduler is apply-loop-owned like st; commit workers touch state
+	// only through region-owned ShardedState commits.
+	ss    *core.ShardedState
+	sched *core.ShardScheduler
+
 	// Event log, guarded by mu; cond signals appends, closure, and
 	// generation changes.
 	mu      sync.Mutex
@@ -113,12 +132,18 @@ type Server struct {
 	started                  time.Time
 }
 
-// op is one unit of serialized work: run executes in the apply loop,
-// done is closed when it has. Results travel through the closure.
+// op is one unit of serialized work: run executes in the apply loop;
+// done is closed when the op has completed. Results travel through the
+// closure. run returns true when completion is deferred — the op has
+// handed itself to the shard scheduler and will close done from the
+// commit worker — and false for the ordinary synchronous case, where
+// the apply loop closes done. exclusive ops drain all in-flight sharded
+// commits before running, so they see a quiescent, exact state.
 type op struct {
-	run  func()
-	enq  time.Time
-	done chan struct{}
+	run       func() bool
+	exclusive bool
+	enq       time.Time
+	done      chan struct{}
 }
 
 // New builds a daemon owning g (taking ownership). The state's node IDs
@@ -148,6 +173,9 @@ func NewFromSnapshot(cfg Config, snap *graphio.Snapshot) (*Server, error) {
 func newServer(cfg Config) (*Server, *rng.RNG) {
 	if cfg.Healer == nil {
 		cfg.Healer = core.DASH{}
+	}
+	if cfg.CommitWorkers > 0 && !core.SupportsSharded(cfg.Healer) {
+		panic(fmt.Sprintf("server: CommitWorkers requires a DASH/SDASH healer, got %s", cfg.Healer.Name()))
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
@@ -196,6 +224,13 @@ func (s *Server) install(st *core.State) {
 	s.initial = &graphio.Snapshot{G: g, Gp: gp, InitID: initID, CurID: curID, InitDeg: initDeg}
 	s.auto = metrics.NewAutoStretch(st.G, s.cfg.SampleThreshold, s.cfg.SampleSources, s.rng.Split())
 	s.peakDelta.Store(0)
+	if s.sched != nil {
+		s.sched.Close() // the old generation's scheduler is already drained (Restore is exclusive)
+	}
+	if s.cfg.CommitWorkers > 0 {
+		s.ss = core.NewShardedState(st, s.cfg.Shards)
+		s.sched = core.NewShardScheduler(s.ss, s.healer, s.cfg.CommitWorkers)
+	}
 
 	// Prologue: the baseline healing forest as edge events, so a stream
 	// from index 0 replays to the exact served topology *including* G′ —
@@ -211,16 +246,42 @@ func (s *Server) install(st *core.State) {
 	s.mu.Unlock()
 }
 
-// applyLoop is the single writer: it drains the op queue until Shutdown
-// closes it.
+// applyLoop is the single admitter: it drains the op queue until
+// Shutdown closes it. On the sharded path it is still the only
+// goroutine that validates, picks victims, and draws RNG — only the
+// commit bodies run elsewhere.
 func (s *Server) applyLoop() {
 	defer close(s.applyDone)
+	defer func() {
+		// Drain and fold the last in-flight commits so FinalSnapshot
+		// (which waits on applyDone) reads an exact state.
+		if s.sched != nil {
+			s.sched.Close()
+			s.peakMax(s.ss.PeakDelta())
+		}
+	}()
 	for op := range s.ops {
 		if s.cfg.beforeApply != nil {
 			s.cfg.beforeApply()
 		}
-		op.run()
-		close(op.done)
+		if op.exclusive && s.sched != nil {
+			s.sched.Barrier()
+			s.peakMax(s.ss.PeakDelta())
+		}
+		if !op.run() {
+			close(op.done)
+		}
+	}
+}
+
+// peakMax folds a candidate into the peak-δ gauge; safe from any
+// goroutine.
+func (s *Server) peakMax(d int64) {
+	for {
+		cur := s.peakDelta.Load()
+		if d <= cur || s.peakDelta.CompareAndSwap(cur, d) {
+			return
+		}
 	}
 }
 
@@ -232,9 +293,21 @@ var errDraining = fmt.Errorf("server: draining")
 
 // enqueue serializes run into the apply loop and waits for completion or
 // context cancellation (the op still runs after cancellation; only the
-// wait is abandoned).
+// wait is abandoned). Ops entered here are exclusive: on the sharded
+// path they run only at quiescence, so every existing synchronous op
+// (batch kills, snapshots, restore, measurements) keeps its
+// single-writer view of the state unchanged.
 func (s *Server) enqueue(ctx context.Context, run func()) error {
-	o := &op{run: run, enq: time.Now(), done: make(chan struct{})}
+	return s.enqueueOp(ctx, &op{
+		run:       func() bool { run(); return false },
+		exclusive: true,
+		done:      make(chan struct{}),
+	})
+}
+
+// enqueueOp submits a prepared op and waits on its done channel.
+func (s *Server) enqueueOp(ctx context.Context, o *op) error {
+	o.enq = time.Now()
 	s.gate.RLock()
 	if s.draining {
 		s.gate.RUnlock()
@@ -273,11 +346,22 @@ func (s *Server) publish(added [][2]int) {
 	if len(s.pending) == 0 {
 		return
 	}
+	s.appendLog(s.pending)
+	s.pending = s.pending[:0]
+}
+
+// appendLog appends events to the current generation's log; safe from
+// any goroutine. Sharded kills append their per-ticket buffers at
+// completion (disjoint batches commute under replay); joins append at
+// admission so join events enter the log in node-index order.
+func (s *Server) appendLog(events []trace.Event) {
+	if len(events) == 0 {
+		return
+	}
 	s.mu.Lock()
-	s.log = append(s.log, s.pending...)
+	s.log = append(s.log, events...)
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	s.pending = s.pending[:0]
 }
 
 // opError is a request-level failure with an HTTP status attached.
@@ -305,12 +389,13 @@ func (s *Server) Join(ctx context.Context, attach []int, attachCount int) (JoinR
 	var res JoinResult
 	var opErr error
 	start := time.Now()
-	err := s.enqueue(ctx, func() {
+	o := &op{done: make(chan struct{})}
+	o.run = func() bool {
 		targets := attach
 		if len(targets) == 0 {
 			if attachCount <= 0 {
 				opErr = failf(400, "join needs attach targets or a positive attach_count")
-				return
+				return false
 			}
 			if attachCount > s.alive.Len() {
 				attachCount = s.alive.Len()
@@ -332,16 +417,37 @@ func (s *Server) Join(ctx context.Context, attach []int, attachCount int) (JoinR
 		} else {
 			seen := make(map[int]bool, len(targets))
 			for _, u := range targets {
-				if !s.st.G.Alive(u) {
+				// The alive index, not the graph, is the admission-time
+				// truth: on the sharded path an in-flight kill has already
+				// left the index but not yet the graph.
+				if !s.alive.Contains(u) {
 					opErr = failf(409, "attach target %d is not alive", u)
-					return
+					return false
 				}
 				if seen[u] {
 					opErr = failf(400, "duplicate attach target %d", u)
-					return
+					return false
 				}
 				seen[u] = true
 			}
+		}
+		if s.sched != nil {
+			var buf []trace.Event
+			hooks := &core.Hooks{OnJoin: func(v int, at []int) {
+				buf = append(buf, trace.Event{
+					Kind: trace.KindJoin, Node: v, Attach: append([]int(nil), at...),
+				})
+			}}
+			v, _ := s.sched.Join(targets, s.rng, hooks, func(tk *core.ShardTicket) {
+				s.peakMax(s.ss.PeakDelta())
+				res = JoinResult{Node: tk.Node, Attach: tk.Attach}
+				close(o.done)
+			})
+			s.alive.Add(v)
+			s.aliveN.Add(1)
+			s.joins.Add(1)
+			s.appendLog(buf) // at admission: join events stay in node-index order
+			return true
 		}
 		v := s.st.Join(targets, s.rng)
 		s.alive.Add(v)
@@ -357,7 +463,9 @@ func (s *Server) Join(ctx context.Context, attach []int, attachCount int) (JoinR
 		s.peakDelta.Store(peak)
 		s.publish(nil)
 		res = JoinResult{Node: v, Attach: targets}
-	})
+		return false
+	}
+	err := s.enqueueOp(ctx, o)
 	if err != nil {
 		return res, err
 	}
@@ -381,26 +489,56 @@ func (s *Server) Kill(ctx context.Context, node int) (KillResult, error) {
 	var res KillResult
 	var opErr error
 	start := time.Now()
-	err := s.enqueue(ctx, func() {
+	o := &op{done: make(chan struct{})}
+	o.run = func() bool {
 		v := node
 		if v < 0 {
 			if s.alive.Len() == 0 {
 				opErr = failf(409, "no alive nodes to kill")
-				return
+				return false
 			}
 			v = s.alive.Random(s.rng)
-		} else if !s.st.G.Alive(v) {
+		} else if !s.alive.Contains(v) {
+			// Admission-time truth (see Join): an in-flight sharded kill
+			// has left the alive index already, so a repeat kill of the
+			// same node is rejected here rather than double-committed.
 			opErr = failf(409, "node %d is not alive", v)
-			return
+			return false
 		}
 		s.alive.Remove(v)
 		s.aliveN.Add(-1)
+		if s.sched != nil {
+			var buf []trace.Event
+			hooks := &core.Hooks{
+				OnRemove: func(x int) {
+					buf = append(buf, trace.Event{Kind: trace.KindRemove, Node: x})
+				},
+				OnEdge: func(u, w int, newInG, inGp bool) {
+					buf = append(buf, trace.Event{Kind: trace.KindEdge, U: u, V: w, NewInG: newInG, InGp: inGp})
+				},
+				OnAdopt: func(x int, id uint64) {
+					buf = append(buf, trace.Event{Kind: trace.KindAdopt, Node: x, ID: id})
+				},
+			}
+			s.sched.Kill(v, hooks, func(tk *core.ShardTicket) {
+				s.kills.Add(1)
+				s.nodesKilled.Add(1)
+				s.healEdges.Add(int64(len(tk.HR.Added)))
+				s.peakMax(s.ss.PeakDelta())
+				s.appendLog(buf)
+				res = KillResult{Node: v, HealEdges: len(tk.HR.Added)}
+				close(o.done)
+			})
+			return true
+		}
 		hr := s.st.DeleteAndHeal(v, s.healer)
 		s.kills.Add(1)
 		s.nodesKilled.Add(1)
 		s.publish(hr.Added)
 		res = KillResult{Node: v, HealEdges: len(hr.Added)}
-	})
+		return false
+	}
+	err := s.enqueueOp(ctx, o)
 	if err != nil {
 		return res, err
 	}
@@ -743,8 +881,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	// A sentinel op marks the drain point: once it runs, every op that
-	// ever entered the queue has been applied.
-	o := &op{run: func() {}, enq: time.Now(), done: make(chan struct{})}
+	// ever entered the queue has been applied (exclusive, so in-flight
+	// sharded commits have drained too).
+	o := &op{run: func() bool { return false }, exclusive: true, enq: time.Now(), done: make(chan struct{})}
 	select {
 	case s.ops <- o:
 	case <-ctx.Done():
