@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(healer, preset string, n, delta int, stretch float64, connected bool) record {
+	return record{
+		Preset: preset, N: n, Trials: 2, Healer: healer, Victim: "Uniform",
+		WallMS: 100, Heals: 500, HealsPerSec: 5000, P95us: 40,
+		PeakDelta: delta, MaxStretch: stretch,
+		AlwaysConnected: connected, ConnTracked: true,
+	}
+}
+
+func TestMarkdownShape(t *testing.T) {
+	recs := []record{
+		rec("DASH", "disaster", 1024, 12, 9.5, true),
+		rec("ForgivingGraph", "disaster", 1024, 18, 2.5, true),
+	}
+	sortRecords(recs)
+	md := markdown(recs)
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + separator + 2 rows, got %d lines:\n%s", len(lines), md)
+	}
+	if !strings.Contains(lines[2], "| DASH |") || !strings.Contains(lines[3], "| ForgivingGraph |") {
+		t.Errorf("rows not sorted healer-ascending within preset:\n%s", md)
+	}
+	if !strings.Contains(lines[2], "20.0") { // 2·log₂(1024)
+		t.Errorf("budget column missing 2·log₂n: %s", lines[2])
+	}
+}
+
+func TestMarkdownUntrackedAndNoStretch(t *testing.T) {
+	r := rec("SDASH", "sustained-churn", 256, 5, -1, false)
+	r.ConnTracked = false
+	md := markdown([]record{r})
+	if !strings.Contains(md, "n/a") || !strings.Contains(md, "untracked") {
+		t.Errorf("missing n/a stretch or untracked connectivity:\n%s", md)
+	}
+}
+
+func TestGateBounds(t *testing.T) {
+	const n = 1024 // log₂n = 10, DASH budget 20
+	cases := []struct {
+		name string
+		r    record
+		bad  bool
+	}{
+		{"dash-within", rec("DASH", "p", n, 20, 5, true), false},
+		{"dash-over", rec("DASH", "p", n, 21, 5, true), true},
+		{"sdashfull-over", rec("SDASHFull", "p", n, 30, 5, true), true},
+		{"forgiving-delta-within", rec("ForgivingGraph", "p", n, 40, 5, true), false},
+		{"forgiving-delta-over", rec("ForgivingGraph", "p", n, 41, 5, true), true},
+		{"forgiving-stretch-within", rec("ForgivingTree", "p", n, 10, 30, true), false},
+		{"forgiving-stretch-over", rec("ForgivingTree", "p", n, 10, 31, true), true},
+		{"forgiving-no-stretch-sample", rec("ForgivingGraph", "p", n, 10, -1, true), false},
+		{"disconnected", rec("DASH", "p", n, 5, 5, false), true},
+		{"noheal-disconnected-ok", rec("NoHeal", "p", n, 0, -1, false), false},
+		{"baseline-connected-only", rec("GraphHeal", "p", n, 500, 100, true), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := check(tc.r, 4, 3)
+			if (len(got) > 0) != tc.bad {
+				t.Errorf("check(%+v) = %v, want violation=%v", tc.r, got, tc.bad)
+			}
+		})
+	}
+}
+
+// TestEndToEnd compiles the command and drives it exactly as CI does:
+// a passing gate exits 0, a violated gate exits 1, no records exits 2.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the command")
+	}
+	dir := t.TempDir()
+	write := func(name string, r record) string {
+		raw, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("BENCH_good.json", rec("DASH", "disaster", 1024, 12, 9, true))
+	bad := write("BENCH_bad.json", rec("DASH", "disaster", 1024, 99, 9, true))
+
+	bin := filepath.Join(dir, "benchtable")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-gate", good).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gate on good record failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "all 1 cells within budget") {
+		t.Errorf("missing gate pass line:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-gate", good, bad).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("gate on bad record: want exit 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "GATE VIOLATION") {
+		t.Errorf("missing violation line:\n%s", out)
+	}
+
+	// No records at all is a usage error (exit 2), not a silent pass.
+	_, err = exec.Command(bin).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("no-args: want exit 2, got %v", err)
+	}
+}

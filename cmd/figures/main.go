@@ -16,6 +16,9 @@
 //	cut       articulation-point adversary stress test
 //	latency   Lemma 9: amortized ID-propagation wave depth
 //	scenarios preset mixed insert/delete/churn workloads (internal/scenario)
+//	headtohead every comparative healer × every attack: δ, stretch,
+//	          messages, healing edges, wall-clock (DASH family vs the
+//	          forgiving healers of Trehan's successor work)
 //
 // Examples:
 //
@@ -44,7 +47,7 @@ func main() {
 // names are usage errors (exit 2).
 func realMain() error {
 	var (
-		fig     = flag.String("fig", "all", "which artifact to regenerate (fig8|fig9a|fig9b|fig10|thm1|thm2|ablation|sdash|batch|topo|oracle|churn|cut|latency|scenarios|all)")
+		fig     = flag.String("fig", "all", "which artifact to regenerate (fig8|fig9a|fig9b|fig10|thm1|thm2|ablation|sdash|batch|topo|oracle|churn|cut|latency|scenarios|headtohead|all)")
 		sizes   = flag.String("sizes", "64,128,256,512", "comma-separated graph sizes")
 		trials  = flag.Int("trials", 10, "random instances per cell (paper uses 30)")
 		seed    = flag.Uint64("seed", 1, "master random seed")
@@ -133,6 +136,10 @@ func realMain() error {
 	if want("scenarios") {
 		matched = true
 		emit(experiments.Scenarios(ns[len(ns)-1], *trials, *seed))
+	}
+	if want("headtohead") {
+		matched = true
+		emit(experiments.HeadToHead(ns[len(ns)-1], *trials, *seed))
 	}
 	if !matched {
 		return cli.Usagef("unknown -fig %q", *fig)

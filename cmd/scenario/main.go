@@ -344,20 +344,40 @@ type benchRecord struct {
 	P50us         float64 `json:"p50_us"`
 	P95us         float64 `json:"p95_us"`
 	P99us         float64 `json:"p99_us"`
+
+	// Quality aggregates for the healer-matrix gate (cmd/benchtable):
+	// worst trial wins, so a gate on these fields bounds every trial.
+	// MaxStretch is -1 when no finite stretch was measured (see finite).
+	PeakDelta       int     `json:"peak_delta"`
+	MaxStretch      float64 `json:"max_stretch"`
+	AlwaysConnected bool    `json:"always_connected"`
+	ConnTracked     bool    `json:"connectivity_tracked"`
 }
 
 func makeBenchRecord(o runOpts, res scenario.Result, wall time.Duration, lat *latencySink) benchRecord {
 	heals := 0
+	peakDelta := 0
+	maxStretch := -1.0
+	connected := true
 	for _, tr := range res.Trials {
 		heals += tr.Deletes + tr.Inserts + tr.Killed
+		if tr.PeakDelta > peakDelta {
+			peakDelta = tr.PeakDelta
+		}
+		if st := finite(tr.MaxStretch); st > maxStretch {
+			maxStretch = st
+		}
+		connected = connected && tr.AlwaysConnected
 	}
 	b := benchRecord{
 		Preset: res.Schedule, N: o.n, Events: res.Events, Trials: len(res.Trials),
 		Healer: res.HealerName, Victim: res.VictimName, Seed: o.seed,
 		Shards: o.shards, CommitWorkers: o.commitWorkers, Workers: o.workers,
 		Cores: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0),
-		WallMS: float64(wall.Nanoseconds()) / 1e6,
-		Heals:  heals,
+		WallMS:    float64(wall.Nanoseconds()) / 1e6,
+		Heals:     heals,
+		PeakDelta: peakDelta, MaxStretch: maxStretch,
+		AlwaysConnected: connected, ConnTracked: o.conn,
 	}
 	if s := wall.Seconds(); s > 0 {
 		b.HealsPerSec = float64(heals) / s

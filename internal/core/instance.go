@@ -1,0 +1,63 @@
+package core
+
+// Healer instancing. The paper's healers (DASH, SDASH, the baselines)
+// are pure functions of the deletion snapshot and the State they heal,
+// so a single value can serve any number of concurrent trials. The
+// successor healers (internal/forgiving) carry virtual-structure
+// bookkeeping that lives across heals of ONE network; sharing such a
+// value across trials would race and, worse, leak one trial's virtual
+// trees into another's. PerState lets a healer declare that it is
+// stateful, and InstanceFor is the single call every harness makes to
+// get a value safe for one trial.
+
+// PerState is implemented by healers whose value carries mutable
+// per-network state. NewInstance returns a fresh, unbound instance;
+// harnesses call it once per trial (per State) before the first Heal.
+type PerState interface {
+	Healer
+	// NewInstance returns a new healer of the same strategy with empty
+	// bookkeeping.
+	NewInstance() Healer
+}
+
+// InstanceFor returns a healer value safe to use for one State's
+// lifetime: a fresh instance for PerState healers, h itself otherwise.
+// Every trial loop (sim, scenario, server, the repro facade) routes
+// its configured healer through this before healing.
+func InstanceFor(h Healer) Healer {
+	if ps, ok := h.(PerState); ok {
+		return ps.NewInstance()
+	}
+	return h
+}
+
+// BatchHealer is implemented by healers with their own simultaneous-
+// deletion rule. DeleteBatchAndHealWith hands such healers the full
+// batch of deletion snapshots; everyone else gets the paper's
+// batch-DASH generalization (DeleteBatchAndHeal).
+type BatchHealer interface {
+	Healer
+	// HealBatch heals one simultaneous deletion of len(dels) nodes.
+	// dels are the snapshots from RemoveBatch, in removal order.
+	HealBatch(s *State, dels []Deletion) HealResult
+}
+
+// DeleteBatchAndHealWith removes all of xs simultaneously and heals
+// with h's batch rule when h is a BatchHealer, else with the default
+// batch-DASH rule. The h == nil and non-BatchHealer paths are
+// bit-identical to DeleteBatchAndHeal — the differential harnesses
+// (internal/dist, modelcheck) that pin the batch-DASH semantics keep
+// holding for DASH-family healers.
+func (s *State) DeleteBatchAndHealWith(xs []int, h Healer) HealResult {
+	bh, ok := h.(BatchHealer)
+	if !ok {
+		return s.DeleteBatchAndHeal(xs)
+	}
+	if s.hooks != nil && s.hooks.OnBatchKill != nil {
+		s.hooks.OnBatchKill(xs)
+	}
+	dels := s.RemoveBatch(xs)
+	res := bh.HealBatch(s, dels)
+	s.rounds++
+	return res
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/forgiving"
+	"repro/internal/sim"
+)
+
+// TestHeadToHeadQualitative pins the lineage's central claim on the
+// MaxNode attack: ForgivingGraph's worst stretch is far below DASH's
+// (the balanced virtual trees keep detours logarithmic) while its peak
+// degree increase stays within a small constant of the paper's
+// 2·log₂ n budget — the "stretch ≪ at comparable degree increase"
+// acceptance line for the head-to-head table.
+func TestHeadToHeadQualitative(t *testing.T) {
+	const n, trials, seed = 256, 5, 42
+	mk := func() attack.Strategy { return attack.MaxDegree{} }
+	dash := headToHeadCell(n, trials, seed, core.DASH{}, mk)
+	fg := headToHeadCell(n, trials, seed, forgiving.NewGraph(), mk)
+
+	if got, limit := fg.MaxStretch.Mean, 0.6*dash.MaxStretch.Mean; got > limit {
+		t.Errorf("ForgivingGraph stretch %.2f not ≪ DASH stretch %.2f (want ≤ %.2f)",
+			got, dash.MaxStretch.Mean, limit)
+	}
+	if budget := 2 * 2 * math.Log2(n); fg.PeakMaxDelta.Mean > budget {
+		t.Errorf("ForgivingGraph peak δ %.1f above comparable-degree budget %.1f",
+			fg.PeakMaxDelta.Mean, budget)
+	}
+	for _, cell := range []struct {
+		name string
+		res  sim.Result
+	}{{"DASH", dash}, {"ForgivingGraph", fg}} {
+		for _, tr := range cell.res.Trials {
+			if !tr.AlwaysConnected {
+				t.Errorf("%s cell lost connectivity", cell.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package forgiving
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// star builds a star graph: center 0, leaves 1..k.
+func star(k int) *graph.Graph {
+	g := graph.New(k + 1)
+	for i := 1; i <= k; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// memberDist returns the hop distance between u and v in g.
+func memberDist(g *graph.Graph, u, v int) int {
+	return int(g.BFS(u)[v])
+}
+
+func log2ceil(k int) int {
+	l := 0
+	for 1<<l < k {
+		l++
+	}
+	return l
+}
+
+// TestHAFTShape kills the center of a k-star for every small k and
+// checks the projected HAFT's contract: survivors stay connected, each
+// member's degree grows by O(1) (≤ 3 beyond replacing its one lost
+// edge), and any two members are within the ~2·log₂k detour bound.
+func TestHAFTShape(t *testing.T) {
+	for _, h := range []core.Healer{Tree{}, NewGraph()} {
+		for k := 1; k <= 9; k++ {
+			g := star(k)
+			s := core.NewState(g, rng.New(1))
+			s.DeleteAndHeal(0, core.InstanceFor(h))
+			if !g.Connected() {
+				t.Fatalf("%s k=%d: survivors disconnected", h.Name(), k)
+			}
+			for v := 1; v <= k; v++ {
+				// Initial degree 1, and the one incident edge died.
+				if d := g.Degree(v); d > 4 {
+					t.Errorf("%s k=%d: member %d degree %d after heal, want ≤ 4", h.Name(), k, v, d)
+				}
+			}
+			bound := 2*log2ceil(k) + 1
+			if bound < 1 {
+				bound = 1
+			}
+			for u := 1; u <= k; u++ {
+				for v := u + 1; v <= k; v++ {
+					if d := memberDist(g, u, v); d > bound {
+						t.Errorf("%s k=%d: dist(%d,%d)=%d exceeds HAFT bound %d", h.Name(), k, u, v, d, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConnectivityUnderRandomKills deletes half of a BA graph one node
+// at a time and checks connectivity plus the Gp ⊆ G invariant after
+// every heal, for both forgiving healers.
+func TestConnectivityUnderRandomKills(t *testing.T) {
+	for _, proto := range []core.Healer{Tree{}, NewGraph()} {
+		h := core.InstanceFor(proto)
+		r := rng.New(7)
+		g := gen.BarabasiAlbert(192, 3, rng.New(2))
+		s := core.NewState(g, rng.New(3))
+		for i := 0; i < 96; i++ {
+			alive := g.AliveNodes()
+			v := alive[r.Intn(len(alive))]
+			s.DeleteAndHeal(v, h)
+			if !g.Connected() {
+				t.Fatalf("%s: disconnected after kill %d (node %d)", proto.Name(), i, v)
+			}
+			if !s.Gp.IsSubgraphOf(s.G) {
+				t.Fatalf("%s: G' not a subgraph of G after kill %d", proto.Name(), i)
+			}
+		}
+	}
+}
+
+// TestGraphSuccession scripts the seat hand-off: kill a star center
+// (memorial over the leaves), then kill the spine simulator and check
+// its internal roles pass to surviving successors — no vnode left
+// simulated by a dead node, and the graph stays connected.
+func TestGraphSuccession(t *testing.T) {
+	f := &Graph{}
+	g := star(4)
+	s := core.NewState(g, rng.New(1))
+	s.DeleteAndHeal(0, f)
+	if len(f.vn) == 0 {
+		t.Fatal("no memorial vnodes after first heal")
+	}
+	spine := 1
+	for v := 2; v <= 4; v++ {
+		if len(f.byReal[v]) > len(f.byReal[spine]) {
+			spine = v
+		}
+	}
+	if len(f.byReal[spine]) < 2 {
+		t.Fatalf("expected a spine simulator with ≥ 2 roles, got %d", len(f.byReal[spine]))
+	}
+	s.DeleteAndHeal(spine, f)
+	if !g.Connected() {
+		t.Fatal("disconnected after killing the spine simulator")
+	}
+	if got := f.byReal[spine]; len(got) != 0 {
+		t.Fatalf("dead node %d still owns roles %v", spine, got)
+	}
+	passed := false
+	for id, v := range f.vn {
+		if v.sim >= 0 && !g.Alive(int(v.sim)) {
+			t.Fatalf("vnode %d simulated by dead node %d", id, v.sim)
+		}
+		if v.left >= 0 && v.sim >= 0 {
+			passed = true
+		}
+	}
+	if !passed {
+		t.Fatal("no internal role found a successor")
+	}
+}
+
+// TestGraphOrphan kills an entire component and checks the roles are
+// abandoned (sim = −1) without panicking, including the final
+// neighborless deletion.
+func TestGraphOrphan(t *testing.T) {
+	f := &Graph{}
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	s := core.NewState(g, rng.New(1))
+	s.DeleteAndHeal(3, f) // memorial over {2,4}
+	s.DeleteAndHeal(2, f) // heir 4 inherits
+	s.DeleteAndHeal(4, f) // component gone: orphan
+	for id, v := range f.vn {
+		if v.sim != -1 {
+			t.Fatalf("vnode %d not orphaned (sim %d)", id, v.sim)
+		}
+	}
+	if !g.Connected() { // remaining component {0,1}
+		t.Fatal("untouched component broken")
+	}
+}
+
+// TestBatchClusterHeal kills a connected ball simultaneously and
+// checks both forgiving batch rules keep the survivors connected.
+func TestBatchClusterHeal(t *testing.T) {
+	for _, proto := range []core.Healer{Tree{}, NewGraph()} {
+		h := core.InstanceFor(proto)
+		g := gen.BarabasiAlbert(128, 3, rng.New(5))
+		s := core.NewState(g, rng.New(6))
+		// Ball around node 0: itself plus its first neighbors.
+		batch := []int{0}
+		for _, v := range g.Neighbors(0) {
+			batch = append(batch, int(v))
+		}
+		s.DeleteBatchAndHealWith(batch, h)
+		if !g.Connected() {
+			t.Fatalf("%s: disconnected after batch kill of %d nodes", proto.Name(), len(batch))
+		}
+		// And a scattered batch (likely several clusters).
+		alive := g.AliveNodes()
+		batch2 := []int{alive[10], alive[30], alive[50], alive[70]}
+		s.DeleteBatchAndHealWith(batch2, h)
+		if !g.Connected() {
+			t.Fatalf("%s: disconnected after scattered batch", proto.Name())
+		}
+	}
+}
+
+// TestGraphVirtualInvariantUnderChurn runs a mixed kill/join workload
+// and asserts the bookkeeping invariant throughout: every vnode is
+// simulated by a live node or orphaned, and every byReal entry points
+// back to a vnode it simulates.
+func TestGraphVirtualInvariantUnderChurn(t *testing.T) {
+	f := &Graph{}
+	r := rng.New(11)
+	g := gen.BarabasiAlbert(96, 3, rng.New(12))
+	s := core.NewState(g, rng.New(13))
+	for i := 0; i < 150; i++ {
+		if r.Intn(3) == 0 { // join attached to two random live nodes
+			alive := g.AliveNodes()
+			a := alive[r.Intn(len(alive))]
+			b := alive[r.Intn(len(alive))]
+			s.Join([]int{a, b}, r)
+		} else {
+			alive := g.AliveNodes()
+			v := alive[r.Intn(len(alive))]
+			s.DeleteAndHeal(v, f)
+		}
+		if !g.Connected() {
+			t.Fatalf("disconnected after op %d", i)
+		}
+	}
+	for id, v := range f.vn {
+		if v.sim >= 0 && !g.Alive(int(v.sim)) {
+			t.Fatalf("vnode %d simulated by dead node %d", id, v.sim)
+		}
+	}
+	for real, roles := range f.byReal {
+		for _, id := range roles {
+			if int(f.vn[id].sim) != real {
+				t.Fatalf("byReal[%d] lists vnode %d, but its sim is %d", real, id, f.vn[id].sim)
+			}
+		}
+	}
+}
+
+// TestDeterminism re-runs an identical kill sequence and demands
+// bit-identical heal reports from both healers.
+func TestDeterminism(t *testing.T) {
+	run := func(proto core.Healer) [][][2]int {
+		h := core.InstanceFor(proto)
+		g := gen.BarabasiAlbert(128, 3, rng.New(21))
+		s := core.NewState(g, rng.New(22))
+		r := rng.New(23)
+		var out [][][2]int
+		for i := 0; i < 60; i++ {
+			alive := g.AliveNodes()
+			v := alive[r.Intn(len(alive))]
+			out = append(out, s.DeleteAndHeal(v, h).Added)
+		}
+		return out
+	}
+	for _, proto := range []core.Healer{Tree{}, NewGraph()} {
+		a, b := run(proto), run(proto)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two identical runs disagreed", proto.Name())
+		}
+	}
+}
+
+// TestInstanceSemantics pins the sharing contract: Tree is a shareable
+// value, Graph is per-state and fresh instances are independent.
+func TestInstanceSemantics(t *testing.T) {
+	if _, ok := interface{}(Tree{}).(core.PerState); ok {
+		t.Fatal("Tree should be stateless (not PerState)")
+	}
+	proto := NewGraph()
+	a := core.InstanceFor(proto)
+	b := core.InstanceFor(proto)
+	if a == core.Healer(proto) || a == b {
+		t.Fatal("InstanceFor must return fresh ForgivingGraph instances")
+	}
+	if _, ok := a.(core.BatchHealer); !ok {
+		t.Fatal("ForgivingGraph instance lost the BatchHealer rule")
+	}
+	if _, ok := interface{}(Tree{}).(core.BatchHealer); !ok {
+		t.Fatal("Tree lost the BatchHealer rule")
+	}
+}
+
+// TestSupportsShardedExplicit pins the serial-only contract: the
+// sharded committer must reject the forgiving healers (their virtual
+// bookkeeping is global), and the rejection is an error, not a silent
+// fallback.
+func TestSupportsShardedExplicit(t *testing.T) {
+	if core.SupportsSharded(Tree{}) {
+		t.Fatal("ForgivingTree must not claim sharded-commit support")
+	}
+	if core.SupportsSharded(NewGraph()) {
+		t.Fatal("ForgivingGraph must not claim sharded-commit support")
+	}
+}

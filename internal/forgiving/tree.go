@@ -1,0 +1,52 @@
+package forgiving
+
+import "repro/internal/core"
+
+// Tree is ForgivingTree: each deletion is healed in isolation by a
+// half-full tree over ALL of the dead node's surviving neighbors, with
+// the heir (lowest (δ, initID)) simulating the root — taking the dead
+// node's place. In the original algorithm the dead node's will is its
+// parent plus children in the maintained tree; against a general graph
+// the will's contents are exactly the deletion snapshot's neighbor
+// list, so Tree needs no cross-heal bookkeeping and a single value is
+// safe to share across trials (contrast Graph, which inherits virtual
+// roles across deletions).
+type Tree struct{}
+
+// Name implements core.Healer.
+func (Tree) Name() string { return "ForgivingTree" }
+
+// Heal implements core.Healer: wire the HAFT over the surviving
+// neighbors and flood MINID over them, mirroring DASH's accounting so
+// message counts stay comparable.
+func (Tree) Heal(s *core.State, d core.Deletion) core.HealResult {
+	if len(d.GNbrs) == 0 {
+		return core.HealResult{}
+	}
+	members := append([]int(nil), d.GNbrs...)
+	s.SortByDelta(members)
+	added := wireHAFT(s, members)
+	s.PropagateMinID(members)
+	return core.HealResult{RTSize: len(members), Added: added}
+}
+
+// HealBatch implements core.BatchHealer: each connected cluster of the
+// deleted set is treated as one super-deletion — one merged HAFT over
+// the cluster's surviving boundary. This is the same clustering rule
+// the batch-DASH generalization uses, with the HAFT replacing the flat
+// binary tree.
+func (Tree) HealBatch(s *core.State, dels []core.Deletion) core.HealResult {
+	var res core.HealResult
+	for _, cluster := range core.ClusterDeletions(dels) {
+		members := boundary(s, cluster)
+		if len(members) == 0 {
+			continue
+		}
+		s.SortByDelta(members)
+		added := wireHAFT(s, members)
+		s.PropagateMinID(members)
+		res.RTSize += len(members)
+		res.Added = append(res.Added, added...)
+	}
+	return res
+}

@@ -122,7 +122,9 @@ type Config struct {
 	// Schedule is the declarative workload; it is compiled once per Run.
 	Schedule Schedule
 	// Healer heals every deletion (single deletions through Healer.Heal,
-	// batch kills through the batch-DASH rule).
+	// batch kills through the healer's own core.BatchHealer rule when it
+	// has one, else the batch-DASH rule). Stateful healers (core.PerState)
+	// are instanced per trial via core.InstanceFor.
 	Healer core.Healer
 	// NewVictim builds the per-trial deletion policy; nil means Uniform.
 	NewVictim func() VictimPolicy
@@ -300,6 +302,7 @@ type trialRun struct {
 	cfg    Config
 	events []Event
 	victim VictimPolicy
+	healer core.Healer // per-trial instance of cfg.Healer (core.InstanceFor)
 
 	s       *core.State
 	alive   *AliveSet
@@ -335,7 +338,8 @@ func newTrialRun(cfg Config, events []Event, victim VictimPolicy, trial int, tr 
 	}
 	t := &trialRun{
 		cfg: cfg, events: events, victim: victim,
-		s: s, alive: NewAliveSet(s.G),
+		healer: core.InstanceFor(cfg.Healer),
+		s:      s, alive: NewAliveSet(s.G),
 		victimR: victimR, opR: opR, measureR: measureR,
 		res: TrialResult{
 			N: s.G.NumAlive(), AlwaysConnected: true, FirstBreak: -1,
@@ -406,7 +410,7 @@ func (t *trialRun) doDelete(event int) {
 	if t.cfg.ObserveLatency != nil {
 		start = time.Now()
 	}
-	hr := t.s.DeleteAndHeal(v, t.cfg.Healer)
+	hr := t.s.DeleteAndHeal(v, t.healer)
 	if t.cfg.ObserveLatency != nil {
 		t.cfg.ObserveLatency(time.Since(start))
 	}
@@ -476,7 +480,7 @@ func (t *trialRun) doBatchKill(event, size int) {
 	for _, v := range batch {
 		t.alive.Remove(v)
 	}
-	hr := t.s.DeleteBatchAndHeal(batch)
+	hr := t.s.DeleteBatchAndHealWith(batch, t.healer)
 	t.res.BatchKills++
 	t.res.Killed += len(batch)
 	t.res.EdgesAdded += len(hr.Added)

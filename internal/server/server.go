@@ -186,7 +186,7 @@ func newServer(cfg Config) (*Server, *rng.RNG) {
 	master := rng.New(cfg.Seed)
 	s := &Server{
 		cfg:       cfg,
-		healer:    cfg.Healer,
+		healer:    core.InstanceFor(cfg.Healer),
 		ops:       make(chan *op, cfg.QueueDepth),
 		applyDone: make(chan struct{}),
 		rng:       master.Split(),
@@ -601,7 +601,7 @@ func (s *Server) BatchKill(ctx context.Context, nodes []int, size, center int) (
 			s.alive.Remove(v)
 		}
 		s.aliveN.Add(-int64(len(batch)))
-		hr := s.st.DeleteBatchAndHeal(batch)
+		hr := s.st.DeleteBatchAndHealWith(batch, s.healer)
 		s.batchKills.Add(1)
 		s.nodesKilled.Add(int64(len(batch)))
 		s.publish(hr.Added)

@@ -48,7 +48,9 @@ type Config struct {
 	// NewAttack builds a fresh adversary per trial (adversaries may be
 	// stateful).
 	NewAttack func() attack.Strategy
-	// Healer is the healing strategy under test (healers are stateless).
+	// Healer is the healing strategy under test. Stateful healers
+	// (core.PerState) are instanced per trial via core.InstanceFor, so
+	// one configured value is safe at any Workers count.
 	Healer core.Healer
 	// Trials is the number of random instances to average over
 	// (the paper uses 30). Defaults to 1.
@@ -146,6 +148,7 @@ func runTrial(cfg Config, tr *rng.RNG) Trial {
 	n := g.NumAlive()
 	s := core.NewState(g, stateR)
 	att := cfg.NewAttack()
+	healer := core.InstanceFor(cfg.Healer)
 
 	var stretch *metrics.Stretch
 	if cfg.StretchEvery > 0 {
@@ -173,7 +176,7 @@ func runTrial(cfg Config, tr *rng.RNG) Trial {
 		if v == attack.NoTarget {
 			break
 		}
-		hr := s.DeleteAndHeal(v, cfg.Healer)
+		hr := s.DeleteAndHeal(v, healer)
 		trial.Rounds++
 		trial.EdgesAdded += len(hr.Added)
 		if hr.Surrogated {

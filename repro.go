@@ -17,6 +17,10 @@
 //	                     identical at any parallelism
 //	internal/core        DASH, SDASH, healing state, MINID flood, rem(v)
 //	internal/baseline    GraphHeal, BinaryTreeHeal, LineHeal, DegreeHeal, NoHeal
+//	internal/forgiving   ForgivingTree and ForgivingGraph, the successor
+//	                     healers (Trehan, arXiv:1305.4675): half-full
+//	                     trees of virtual nodes projected onto real
+//	                     edges, bounding degree increase AND stretch
 //	internal/attack      MaxNode, NeighborOfMax, Random, MinNode, LEVELATTACK
 //	internal/gen         Barabási–Albert, k-ary trees, and other topologies
 //	internal/sim         the delete→heal→measure experiment loop; trials
@@ -50,6 +54,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/forgiving"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -105,6 +110,15 @@ var (
 	// identically to DASH with zero label messages, but a real system
 	// cannot implement its oracle locally.
 	OracleDASH Healer = core.OracleDASH{}
+	// ForgivingTree heals each deletion with a half-full tree over the
+	// dead node's neighbors (Trehan's successor algorithm): balanced
+	// repair, O(log d) detours, no cross-heal state.
+	ForgivingTree Healer = forgiving.Tree{}
+	// ForgivingGraph adds persistent virtual-node bookkeeping: heirs
+	// inherit the dead node's virtual roles, so repair structures merge
+	// over time instead of stacking. Stateful per network — harnesses
+	// instantiate per trial via core.InstanceFor.
+	ForgivingGraph Healer = forgiving.NewGraph()
 )
 
 // Attack strategy constructors (fresh value per run; some are stateful).
@@ -133,7 +147,7 @@ func HealerByName(name string) (Healer, error) {
 
 // AllHealers returns every available healing strategy, naive to smart.
 func AllHealers() []Healer {
-	return []Healer{NoHeal, GraphHeal, LineHeal, DegreeHeal, BinaryTreeHeal, DASH, SDASH, SDASHFull, OracleDASH}
+	return []Healer{NoHeal, GraphHeal, LineHeal, DegreeHeal, BinaryTreeHeal, DASH, SDASH, SDASHFull, OracleDASH, ForgivingTree, ForgivingGraph}
 }
 
 // HealerNames lists the valid HealerByName inputs, sorted.
@@ -201,11 +215,13 @@ type Simulation struct {
 
 // NewSimulation wraps g (taking ownership) with a healer and an attack.
 // seed drives both the node-ID assignment and the attack's randomness.
+// Stateful healers (core.PerState, e.g. ForgivingGraph) are instanced
+// per simulation, so the same healer value can seed many Simulations.
 func NewSimulation(g *Graph, h Healer, newAttack func() Strategy, seed uint64) *Simulation {
 	master := rng.New(seed)
 	return &Simulation{
 		State:  core.NewState(g, master.Split()),
-		Healer: h,
+		Healer: core.InstanceFor(h),
 		Attack: newAttack(),
 		r:      master.Split(),
 	}
